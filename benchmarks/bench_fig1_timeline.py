@@ -1,0 +1,68 @@
+"""Figure 1 / Figure 10: execution timelines, max-frequency vs Perseus.
+
+Renders the one-iteration timeline of GPT-3 1.3B (N=4, M=6, as drawn in
+Figure 1) plus the Appendix-A models, and checks Perseus's schedule keeps
+the iteration time while cutting energy -- the figure's visual claim.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import plan_pipeline
+from repro.baselines import max_frequency_plan
+from repro.sim import execute_frequency_plan
+from repro.viz import render_comparison
+
+#: (model, figure label) as visualized in Figure 1 / Figure 10.
+FIGURE_MODELS = [
+    ("gpt3-xl", "Figure 1: GPT-3 1.3B"),
+    ("bert-huge", "Figure 10a: BERT 1.3B"),
+    ("t5-3b", "Figure 10b: T5 3B"),
+    ("bloom-3b", "Figure 10c: Bloom 3B"),
+    ("wide-resnet101", "Figure 10d: Wide-ResNet101 1.5B"),
+]
+
+
+def _render(model_name):
+    plan = plan_pipeline(
+        model_name, gpu="a100", num_stages=4, num_microbatches=6,
+        freq_stride=8,
+    )
+    base = execute_frequency_plan(
+        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+    )
+    opt = execute_frequency_plan(
+        plan.dag,
+        plan.optimizer.schedule_for_straggler(None).frequencies,
+        plan.profile,
+    )
+    return base, opt
+
+
+def test_fig1_gpt3_timeline(benchmark):
+    base, opt = benchmark.pedantic(_render, args=("gpt3-xl",), rounds=1,
+                                   iterations=1)
+    emit("[Figure 1] GPT-3 1.3B, 4 stages, 6 microbatches (A100)\n"
+         + render_comparison(base, opt, width=100))
+    # the figure's claim: same iteration time, visibly less energy
+    assert opt.iteration_time <= base.iteration_time * 1.001
+    assert opt.total_energy() < base.total_energy() * 0.95
+
+
+def test_fig10_appendix_timelines(benchmark):
+    def run():
+        out = []
+        for name, label in FIGURE_MODELS[1:]:
+            base, opt = _render(name)
+            out.append((label, base, opt))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, base, opt in results:
+        saved = 100 * (1 - opt.total_energy() / base.total_energy())
+        emit(f"[{label}] iteration {base.iteration_time:.3f}s -> "
+             f"{opt.iteration_time:.3f}s, energy saved {saved:.1f}%\n"
+             + render_comparison(base, opt, width=100))
+        assert opt.iteration_time <= base.iteration_time * 1.001
+        assert opt.total_energy() < base.total_energy()

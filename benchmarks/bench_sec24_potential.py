@@ -1,0 +1,66 @@
+"""§2.4: potential energy savings upper bound.
+
+Paper: slowing every computation to its minimum-energy clock gives on
+average 16% (A100) and 27% (A40) energy reduction across the §6.2
+workloads, at the cost of slowdown.  Perseus later realizes most of this
+without the slowdown.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.baselines.static import potential_savings
+from repro.experiments.report import format_table
+
+PAPER_AVG = {"A100": 16.0, "A40": 27.0}
+
+
+def _sweep(setups):
+    rows = []
+    for key, setup in setups.items():
+        savings, slowdown = potential_savings(setup.dag, setup.profile)
+        rows.append([setup.workload.display, 100 * savings,
+                     100 * (slowdown - 1)])
+    return rows
+
+
+def test_sec24_potential_a100(benchmark, a100_setups):
+    rows = benchmark.pedantic(_sweep, args=(a100_setups,), rounds=1,
+                              iterations=1)
+    avg = float(np.mean([r[1] for r in rows]))
+    emit(format_table(
+        ["workload", "potential savings %", "slowdown %"],
+        rows,
+        title=f"[Sec 2.4] Upper-bound savings on A100 "
+              f"(ours avg {avg:.1f}%, paper avg {PAPER_AVG['A100']}%)",
+    ))
+    assert 8.0 < avg < 30.0
+
+
+def test_sec24_potential_a40(benchmark, a40_setups):
+    rows = benchmark.pedantic(_sweep, args=(a40_setups,), rounds=1,
+                              iterations=1)
+    avg = float(np.mean([r[1] for r in rows]))
+    emit(format_table(
+        ["workload", "potential savings %", "slowdown %"],
+        rows,
+        title=f"[Sec 2.4] Upper-bound savings on A40 "
+              f"(ours avg {avg:.1f}%, paper avg {PAPER_AVG['A40']}%)",
+    ))
+    assert 15.0 < avg < 40.0
+
+
+def test_sec24_a40_exceeds_a100(benchmark, a100_setups, a40_setups):
+    def averages():
+        a100 = np.mean([100 * potential_savings(s.dag, s.profile)[0]
+                        for s in a100_setups.values()])
+        a40 = np.mean([100 * potential_savings(s.dag, s.profile)[0]
+                       for s in a40_setups.values()])
+        return a100, a40
+
+    a100, a40 = benchmark.pedantic(averages, rounds=1, iterations=1)
+    emit(f"[Sec 2.4] average potential: A100 {a100:.1f}% vs A40 {a40:.1f}% "
+         f"(paper: 16% vs 27%)")
+    assert a40 > a100

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures: cached experiment setups + result sink.
+
+Benchmarks print paper-vs-measured tables.  pytest captures stdout, so
+every table is also appended to ``benchmarks/results.txt`` and echoed in
+the terminal summary; run with ``-s`` to watch tables live.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetup, prepare
+from repro.experiments.workloads import get_workload
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+_SETUPS: Dict[str, ExperimentSetup] = {}
+
+
+def emit(text: str) -> None:
+    """Print a table and persist it to the results file."""
+    print()
+    print(text)
+    with open(RESULTS_PATH, "a", encoding="utf-8") as f:
+        f.write(text + "\n\n")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    if os.path.exists(RESULTS_PATH):
+        os.remove(RESULTS_PATH)
+    yield
+
+
+def setup_for(workload_key: str, **kwargs) -> ExperimentSetup:
+    """Session-cached experiment setup (frontier computed once)."""
+    key = f"{workload_key}|{sorted(kwargs.items())}"
+    if key not in _SETUPS:
+        _SETUPS[key] = prepare(get_workload(workload_key), **kwargs)
+    return _SETUPS[key]
+
+
+@pytest.fixture(scope="session")
+def a100_setups():
+    """All five A100 PP4 workloads (Table 10), scaled microbatches."""
+    from repro.experiments.workloads import A100_PP4_WORKLOADS
+
+    return {wl.key: setup_for(wl.key) for wl in A100_PP4_WORKLOADS}
+
+
+@pytest.fixture(scope="session")
+def a40_setups():
+    """All five A40 PP8 workloads (Table 9), scaled microbatches."""
+    from repro.experiments.workloads import A40_PP8_WORKLOADS
+
+    return {wl.key: setup_for(wl.key) for wl in A40_PP8_WORKLOADS}

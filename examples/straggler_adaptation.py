@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Straggler adaptation: the full Figure-4 lifecycle on the runtime.
+
+Runs the simulated training engine (the Merak substitute) with the Perseus
+client/server:
+
+1. in-vivo profiling over the first iterations (client sweeps clocks),
+2. asynchronous frontier characterization on the server,
+3. deployment of the T_min energy schedule (intrinsic bloat removed),
+4. the datacenter notifies a thermal-throttled straggler
+   (``set_straggler``, Table 2) -- the server instantly looks up the
+   ``T_opt = min(T*, T')`` schedule and re-deploys,
+5. the straggler recovers and the pipeline returns to T_min.
+
+Run:  python examples/straggler_adaptation.py
+"""
+
+from repro.gpu import A100_PCIE
+from repro.models import build_model
+from repro.partition import partition_model
+from repro.runtime import PerseusServer, TrainingEngine, TrainingSession
+from repro.stragglers import ThermalThrottle
+
+
+def main() -> None:
+    model = build_model("gpt3-xl", microbatch_size=4)
+    partition = partition_model(model, 4, A100_PCIE)
+    engine = TrainingEngine(
+        model, partition, A100_PCIE,
+        num_microbatches=6,
+        freq_stride=12,          # coarser in-vivo sweep for a quick demo
+        iterations_per_freq=1,
+    )
+    session = TrainingSession(engine=engine, server=PerseusServer(), tau=0.01)
+
+    print("phase       iter   time(s)  energy(J)  avg power(W)")
+
+    def show(stats, note=""):
+        print(f"{stats.phase:10s}  {stats.index:4d}  {stats.iteration_time:7.3f}"
+              f"  {stats.energy_j:9.1f}  {stats.average_power_w / 4:12.1f}  {note}")
+
+    # --- 1-3: profile, characterize, deploy -----------------------------
+    while True:
+        stats = session.step()
+        if stats.index < 3 or stats.phase != "profiling":
+            show(stats)
+        if stats.phase == "optimized":
+            break
+    show(session.step(), "steady state with T_min schedule")
+
+    # --- 4: a rack manager anticipates thermal throttling elsewhere -----
+    throttle = ThermalThrottle(slowdown=1.2)
+    print(f"\n>> datacenter: another pipeline will throttle "
+          f"{throttle.degree:.2f}x -> set_straggler(id=7, delay=0, degree=1.2)")
+    session.notify_straggler(accelerator_id=7, delay_s=0.0,
+                             degree=throttle.degree)
+    session.step()  # transition iteration while new clock locks apply
+    show(session.step(), "slowed to T_opt = min(T*, T'), energy down")
+    show(session.step())
+
+    # --- 5: straggler recovers ------------------------------------------
+    print("\n>> datacenter: straggler resolved -> set_straggler(degree=1.0)")
+    session.notify_straggler(accelerator_id=7, delay_s=0.0, degree=1.0)
+    session.step()
+    show(session.step(), "back to T_min schedule")
+
+    frontier = session.server.frontier_of(session.job_id)
+    print(f"\nfrontier: T_min={frontier.t_min:.3f}s  T*={frontier.t_star:.3f}s "
+          f"({len(frontier.points)} schedules cached for instant lookup)")
+
+
+if __name__ == "__main__":
+    main()

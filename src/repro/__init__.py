@@ -1,0 +1,137 @@
+"""Perseus reproduction: reducing energy bloat in large model training.
+
+A from-scratch Python implementation of the SOSP 2024 Perseus system
+(Chung et al.), including every substrate it depends on: an analytical
+GPU time/power substrate, a large-model zoo, minimum-imbalance pipeline
+partitioning, pipeline-schedule DAGs, the graph-cut frontier optimizer,
+an execution simulator, the client/server runtime, baselines (EnvPipe,
+Zeus variants), and large-scale emulation.
+
+Quickstart::
+
+    from repro import plan_pipeline
+
+    result = plan_pipeline("gpt3-xl", gpu="a100", num_stages=4,
+                           num_microbatches=8)
+    print(result.frontier.t_min, result.frontier.t_star)
+    schedule = result.optimizer.schedule_for_straggler(None)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
+regenerating every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from . import baselines, core, emulation, experiments, gpu, models
+from . import partition as partitioning
+from . import pipeline, profiler, runtime, sim, stragglers, viz
+from .core.frontier import Frontier
+from .core.optimizer import PerseusOptimizer
+from .gpu.specs import GPUSpec, get_gpu
+from .models.layers import ModelSpec
+from .models.registry import build_model
+from .partition.algorithms import PartitionResult, partition_model
+from .pipeline.dag import ComputationDag, build_pipeline_dag
+from .pipeline.schedules import schedule_1f1b
+from .profiler.measurement import PipelineProfile
+from .profiler.online import profile_pipeline
+
+__version__ = "1.0.0"
+
+
+@dataclass
+class PlanResult:
+    """Everything :func:`plan_pipeline` produced for one training job."""
+
+    model: ModelSpec
+    gpu: GPUSpec
+    partition: PartitionResult
+    profile: PipelineProfile
+    dag: ComputationDag
+    optimizer: PerseusOptimizer
+
+    @property
+    def frontier(self) -> Frontier:
+        return self.optimizer.frontier
+
+
+def plan_pipeline(
+    model_name: str,
+    gpu: str = "a100",
+    num_stages: int = 4,
+    num_microbatches: int = 8,
+    microbatch_size: Optional[int] = None,
+    tensor_parallel: int = 1,
+    freq_stride: int = 4,
+    tau: Optional[float] = None,
+) -> PlanResult:
+    """One-call pipeline planning: model -> partition -> profile -> frontier.
+
+    Args:
+        model_name: Zoo variant, e.g. ``"gpt3-xl"`` (see
+            :func:`repro.models.list_models`).
+        gpu: GPU name/alias, e.g. ``"a100"``, ``"a40"``.
+        num_stages: Pipeline parallel degree.
+        num_microbatches: Microbatches per iteration.
+        microbatch_size: Per-microbatch batch size (zoo default if None).
+        tensor_parallel: Operator-parallel degree within each stage.
+        freq_stride: Frequency-ladder subsampling for profiling (1 = full
+            15 MHz grid).
+        tau: Planning granularity in seconds (auto if None).
+    """
+    gpu_spec = get_gpu(gpu)
+    model = build_model(model_name, microbatch_size)
+    part = partition_model(model, num_stages, gpu_spec)
+    profile = profile_pipeline(
+        model, part, gpu_spec, tensor_parallel=tensor_parallel,
+        freq_stride=freq_stride,
+    )
+    dag = build_pipeline_dag(schedule_1f1b(num_stages, num_microbatches))
+    if tau is None:
+        from .experiments.runner import _auto_tau
+
+        tau = _auto_tau(dag, profile, 250)
+    optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
+    return PlanResult(
+        model=model,
+        gpu=gpu_spec,
+        partition=part,
+        profile=profile,
+        dag=dag,
+        optimizer=optimizer,
+    )
+
+
+__all__ = [
+    "ComputationDag",
+    "Frontier",
+    "GPUSpec",
+    "ModelSpec",
+    "PartitionResult",
+    "PerseusOptimizer",
+    "PipelineProfile",
+    "PlanResult",
+    "baselines",
+    "build_model",
+    "build_pipeline_dag",
+    "core",
+    "emulation",
+    "experiments",
+    "get_gpu",
+    "gpu",
+    "models",
+    "partition_model",
+    "partitioning",
+    "pipeline",
+    "plan_pipeline",
+    "profile_pipeline",
+    "profiler",
+    "runtime",
+    "schedule_1f1b",
+    "sim",
+    "stragglers",
+    "viz",
+]

@@ -1,0 +1,27 @@
+"""Baselines from the paper's evaluation: EnvPipe, ZeusGlobal, ZeusPerStage."""
+
+from .envpipe import envpipe_plan, run_envpipe
+from .static import (
+    max_frequency_plan,
+    min_energy_plan,
+    potential_savings,
+    run_max_frequency,
+    run_min_energy,
+)
+from .zeus_global import BaselineFrontierPoint, global_plan, zeus_global_frontier
+from .zeus_perstage import per_stage_plan, zeus_per_stage_frontier
+
+__all__ = [
+    "BaselineFrontierPoint",
+    "envpipe_plan",
+    "global_plan",
+    "max_frequency_plan",
+    "min_energy_plan",
+    "per_stage_plan",
+    "potential_savings",
+    "run_envpipe",
+    "run_max_frequency",
+    "run_min_energy",
+    "zeus_global_frontier",
+    "zeus_per_stage_frontier",
+]

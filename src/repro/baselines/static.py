@@ -1,0 +1,58 @@
+"""Static reference plans: all-max-frequency and all-min-energy.
+
+``max_frequency_plan`` is the paper's baseline for every savings number
+("relative to using all maximum GPU frequencies", §6.1) and the default
+mode of operation; ``min_energy_plan`` is the §2.4 upper bound on possible
+savings (every computation at its minimum-energy clock, ignoring the
+slowdown it causes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+from ..sim.executor import (
+    PipelineExecution,
+    execute_frequency_plan,
+    max_frequency_plan,
+    min_energy_plan,
+)
+
+__all__ = [
+    "max_frequency_plan",
+    "min_energy_plan",
+    "run_max_frequency",
+    "run_min_energy",
+    "potential_savings",
+]
+
+
+def run_max_frequency(
+    dag: ComputationDag, profile: PipelineProfile
+) -> PipelineExecution:
+    """Execute the all-max-frequency baseline."""
+    return execute_frequency_plan(dag, max_frequency_plan(dag, profile), profile)
+
+
+def run_min_energy(
+    dag: ComputationDag, profile: PipelineProfile
+) -> PipelineExecution:
+    """Execute the §2.4 upper-bound plan (accepting its slowdown)."""
+    return execute_frequency_plan(dag, min_energy_plan(dag, profile), profile)
+
+
+def potential_savings(
+    dag: ComputationDag, profile: PipelineProfile
+) -> Tuple[float, float]:
+    """(energy_savings_fraction, slowdown_factor) of the §2.4 upper bound.
+
+    Energy compares the min-energy plan against all-max at each plan's own
+    iteration time; slowdown is the min-energy plan's time inflation.
+    """
+    base = run_max_frequency(dag, profile)
+    slow = run_min_energy(dag, profile)
+    e_base = base.total_energy()
+    e_slow = slow.total_energy()
+    return 1.0 - e_slow / e_base, slow.iteration_time / base.iteration_time

@@ -1,0 +1,92 @@
+"""ZeusGlobal baseline: one global frequency for every stage (§6.4).
+
+Zeus [NSDI'23] characterizes the time-energy tradeoff of *single-GPU*
+training by scanning one power/frequency knob.  Extended naively to a
+pipeline, it scans a single global SM clock for all stages -- blind to
+stage imbalance, so it slows critical and non-critical computations alike
+and cannot remove intrinsic energy bloat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+from ..sim.executor import PipelineExecution, execute_frequency_plan
+
+
+@dataclass(frozen=True)
+class BaselineFrontierPoint:
+    """One (plan, realized execution) point of a baseline's tradeoff scan."""
+
+    label: str
+    plan: Dict[int, int]
+    execution: PipelineExecution
+
+    @property
+    def iteration_time(self) -> float:
+        return self.execution.iteration_time
+
+    def total_energy(self, sync_time: float = None) -> float:
+        return self.execution.total_energy(sync_time)
+
+
+def global_plan(
+    dag: ComputationDag, profile: PipelineProfile, freq_mhz: int
+) -> Dict[int, int]:
+    """All computations at one clock (clamped per-op to profiled range)."""
+    plan: Dict[int, int] = {}
+    for n in dag.nodes:
+        op_profile = profile.get(dag.nodes[n].op_key)
+        if op_profile.fixed:
+            plan[n] = op_profile.measurements[0].freq_mhz
+            continue
+        available = sorted(m.freq_mhz for m in op_profile.measurements)
+        chosen = available[0]
+        for f in available:
+            if f <= freq_mhz:
+                chosen = f
+            else:
+                break
+        plan[n] = chosen
+    return plan
+
+
+def zeus_global_frontier(
+    dag: ComputationDag, profile: PipelineProfile, freq_stride: int = 1
+) -> List[BaselineFrontierPoint]:
+    """Scan the global clock from max to min; Pareto-filter the outcomes."""
+    freqs = sorted(
+        {
+            m.freq_mhz
+            for op in profile.ops.values()
+            if not op.fixed
+            for m in op.measurements
+        },
+        reverse=True,
+    )[::freq_stride]
+    points: List[BaselineFrontierPoint] = []
+    for f in freqs:
+        plan = global_plan(dag, profile, f)
+        execution = execute_frequency_plan(dag, plan, profile)
+        points.append(
+            BaselineFrontierPoint(label=f"global@{f}MHz", plan=plan, execution=execution)
+        )
+    return pareto_points(points)
+
+
+def pareto_points(
+    points: List[BaselineFrontierPoint],
+) -> List[BaselineFrontierPoint]:
+    """Keep (time, energy)-Pareto-optimal points, sorted by time."""
+    ordered = sorted(points, key=lambda p: (p.iteration_time, p.total_energy()))
+    front: List[BaselineFrontierPoint] = []
+    best = float("inf")
+    for p in ordered:
+        e = p.total_energy()
+        if e < best - 1e-9:
+            front.append(p)
+            best = e
+    return front

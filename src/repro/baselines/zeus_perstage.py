@@ -1,0 +1,99 @@
+"""ZeusPerStage baseline: per-stage clocks balancing forward time (§6.4).
+
+The stronger Zeus-derived baseline: choose one clock per stage so that
+every stage's *forward* latency lands at (or under) a common target, then
+sweep the target.  It removes some imbalance but is unaware of the DAG's
+critical path -- it happily slows computations that are critical (e.g.,
+backwards, or warm-up forwards), which is why Perseus Pareto-dominates it
+(Figure 9, Appendix H).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+from ..sim.executor import execute_frequency_plan
+from .zeus_global import BaselineFrontierPoint, pareto_points
+
+
+def _stage_forward_time(profile: PipelineProfile, stage: int, freq: int) -> float:
+    op = profile.get((stage, "forward"))
+    return op.at_freq(freq).time_s
+
+
+def per_stage_plan(
+    dag: ComputationDag, profile: PipelineProfile, target_forward_s: float
+) -> Dict[int, int]:
+    """Per stage: the lowest clock keeping forward time <= the target."""
+    stage_freq: Dict[int, int] = {}
+    for stage in range(dag.num_stages):
+        op = profile.get((stage, "forward"))
+        candidates = sorted(op.measurements, key=lambda m: m.freq_mhz)
+        chosen = candidates[-1].freq_mhz  # fall back to max clock
+        for m in candidates:  # ascending clock = descending time
+            if m.time_s <= target_forward_s + 1e-12:
+                chosen = m.freq_mhz
+                break
+        stage_freq[stage] = chosen
+
+    plan: Dict[int, int] = {}
+    for n in dag.nodes:
+        ins = dag.nodes[n]
+        op_profile = profile.get(ins.op_key)
+        if op_profile.fixed:
+            plan[n] = op_profile.measurements[0].freq_mhz
+            continue
+        freq = stage_freq[ins.stage]
+        available = sorted(m.freq_mhz for m in op_profile.measurements)
+        chosen = available[0]
+        for f in available:
+            if f <= freq:
+                chosen = f
+            else:
+                break
+        plan[n] = chosen
+    return plan
+
+
+def zeus_per_stage_frontier(
+    dag: ComputationDag, profile: PipelineProfile, freq_stride: int = 1
+) -> List[BaselineFrontierPoint]:
+    """Sweep the balance target over the slowest stage's latency ladder.
+
+    The natural target set: for each clock ``f``, the max over stages of
+    the stage forward time at ``f`` (the binding stage's latency).
+    """
+    freqs = sorted(
+        {
+            m.freq_mhz
+            for op in profile.ops.values()
+            if not op.fixed
+            for m in op.measurements
+        },
+        reverse=True,
+    )[::freq_stride]
+    targets = []
+    for f in freqs:
+        worst = 0.0
+        ok = True
+        for stage in range(dag.num_stages):
+            op = profile.get((stage, "forward"))
+            try:
+                worst = max(worst, op.at_freq(f).time_s)
+            except Exception:
+                ok = False
+                break
+        if ok:
+            targets.append(worst)
+    points: List[BaselineFrontierPoint] = []
+    for target in sorted(set(targets)):
+        plan = per_stage_plan(dag, profile, target)
+        execution = execute_frequency_plan(dag, plan, profile)
+        points.append(
+            BaselineFrontierPoint(
+                label=f"perstage@{target * 1e3:.1f}ms", plan=plan, execution=execution
+            )
+        )
+    return pareto_points(points)

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``plan``      -- model -> partition -> profile -> frontier; prints the
+  frontier summary and (optionally) saves it as JSON for the server.
+* ``timeline``  -- render the Figure-1 style before/after timelines.
+* ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
+  schedules for one or more anticipated slowdowns.
+* ``models`` / ``gpus`` -- list the zoo and device registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import plan_pipeline
+from .baselines.static import max_frequency_plan
+from .core.serialization import frontier_from_dict, load_json, save_json
+from .gpu.specs import list_gpus
+from .models.registry import list_models
+from .sim.executor import execute_frequency_plan
+from .viz.timeline_ascii import render_comparison
+
+
+def _add_plan_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("model", help="model zoo variant, e.g. gpt3-xl")
+    p.add_argument("--gpu", default="a100", help="GPU name/alias")
+    p.add_argument("--stages", type=int, default=4, help="pipeline depth")
+    p.add_argument("--microbatches", type=int, default=8)
+    p.add_argument("--microbatch-size", type=int, default=None)
+    p.add_argument("--tensor-parallel", type=int, default=1)
+    p.add_argument("--freq-stride", type=int, default=4,
+                   help="profile every k-th 15 MHz clock")
+    p.add_argument("--tau", type=float, default=None,
+                   help="planning granularity in seconds (auto if omitted)")
+
+
+def _build(args) -> "object":
+    return plan_pipeline(
+        args.model,
+        gpu=args.gpu,
+        num_stages=args.stages,
+        num_microbatches=args.microbatches,
+        microbatch_size=args.microbatch_size,
+        tensor_parallel=args.tensor_parallel,
+        freq_stride=args.freq_stride,
+        tau=args.tau,
+    )
+
+
+def cmd_plan(args) -> int:
+    plan = _build(args)
+    frontier = plan.optimizer.frontier
+    print(f"model      : {plan.model.name} "
+          f"({plan.model.params / 1e9:.2f}B params)")
+    print(f"gpu        : {plan.gpu.name}")
+    print(f"partition  : {list(plan.partition.boundaries)} "
+          f"(imbalance {plan.partition.ratio:.2f})")
+    print(f"frontier   : {len(frontier.points)} schedules, "
+          f"T_min={frontier.t_min:.4f}s, T*={frontier.t_star:.4f}s")
+    print(f"optimizer  : {frontier.steps} steps, "
+          f"{frontier.optimizer_runtime_s:.2f}s")
+    base = execute_frequency_plan(
+        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+    )
+    perseus = execute_frequency_plan(
+        plan.dag, frontier.schedule_for(None).frequencies, plan.profile
+    )
+    print(f"intrinsic  : "
+          f"{100 * (1 - perseus.total_energy() / base.total_energy()):.1f}% "
+          f"energy saved at "
+          f"{100 * (perseus.iteration_time / base.iteration_time - 1):+.2f}% "
+          f"iteration time")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fp:
+            save_json(frontier, fp)
+        print(f"frontier saved to {args.output}")
+    return 0
+
+
+def cmd_timeline(args) -> int:
+    plan = _build(args)
+    base = execute_frequency_plan(
+        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+    )
+    perseus = execute_frequency_plan(
+        plan.dag,
+        plan.optimizer.schedule_for_straggler(None).frequencies,
+        plan.profile,
+    )
+    print(render_comparison(base, perseus, width=args.width))
+    return 0
+
+
+def cmd_straggler(args) -> int:
+    with open(args.frontier, encoding="utf-8") as fp:
+        frontier = load_json(fp)
+    if not hasattr(frontier, "schedule_for"):
+        print("error: file does not contain a frontier", file=sys.stderr)
+        return 2
+    print(f"frontier: T_min={frontier.t_min:.4f}s T*={frontier.t_star:.4f}s")
+    for degree in args.degrees:
+        t_prime = degree * frontier.t_min
+        sched = frontier.schedule_for(min(t_prime, frontier.t_star))
+        print(f"  degree {degree:4.2f}: T_opt schedule at "
+              f"{sched.iteration_time:.4f}s, effective energy "
+              f"{sched.effective_energy:.1f} J")
+    return 0
+
+
+def cmd_models(_args) -> int:
+    for name in list_models():
+        print(name)
+    return 0
+
+
+def cmd_gpus(_args) -> int:
+    for name in list_gpus():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Perseus reproduction: plan energy schedules for "
+                    "pipeline-parallel training.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("plan", help="characterize a time-energy frontier")
+    _add_plan_args(p)
+    p.add_argument("--output", "-o", default=None,
+                   help="save the frontier as JSON")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("timeline", help="render before/after timelines")
+    _add_plan_args(p)
+    p.add_argument("--width", type=int, default=100)
+    p.set_defaults(func=cmd_timeline)
+
+    p = sub.add_parser("straggler",
+                       help="look up T_opt schedules from a saved frontier")
+    p.add_argument("frontier", help="frontier JSON from 'plan -o'")
+    p.add_argument("--degrees", type=float, nargs="+",
+                   default=[1.05, 1.1, 1.2, 1.3, 1.5])
+    p.set_defaults(func=cmd_straggler)
+
+    p = sub.add_parser("models", help="list model zoo variants")
+    p.set_defaults(func=cmd_models)
+    p = sub.add_parser("gpus", help="list GPU specs")
+    p.set_defaults(func=cmd_gpus)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

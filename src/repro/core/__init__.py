@@ -1,0 +1,53 @@
+"""Perseus core: cost models, energy schedules, frontier characterization."""
+
+from .costmodel import OpCostModel, build_cost_model, build_cost_models
+from .frontier import DEFAULT_TAU, Frontier, characterize_frontier
+from .nextschedule import get_next_schedule
+from .optimizer import PerseusOptimizer
+from .serialization import (
+    SerializationError,
+    frontier_from_dict,
+    frontier_to_dict,
+    load_json,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+from .schedule import (
+    EnergySchedule,
+    make_schedule,
+    realize_frequencies,
+    schedule_energies,
+)
+from .unified import (
+    StragglerCase,
+    classify_straggler,
+    energy_optimal_iteration_time,
+    select_schedule,
+)
+
+__all__ = [
+    "DEFAULT_TAU",
+    "EnergySchedule",
+    "Frontier",
+    "OpCostModel",
+    "PerseusOptimizer",
+    "SerializationError",
+    "StragglerCase",
+    "frontier_from_dict",
+    "frontier_to_dict",
+    "load_json",
+    "profile_from_dict",
+    "profile_to_dict",
+    "save_json",
+    "build_cost_model",
+    "build_cost_models",
+    "characterize_frontier",
+    "classify_straggler",
+    "energy_optimal_iteration_time",
+    "get_next_schedule",
+    "make_schedule",
+    "realize_frequencies",
+    "schedule_energies",
+    "select_schedule",
+]

@@ -1,0 +1,179 @@
+"""Iterative time-energy frontier discovery (Algorithm 1, Figure 5).
+
+Start from the minimum-energy schedule (every computation at the duration
+of its min-energy clock -- trivially Pareto-optimal), then repeatedly shave
+``tau`` off the iteration time with minimal effective-energy increase via
+:func:`~repro.core.nextschedule.get_next_schedule`, collecting every
+intermediate schedule.  The crawl ends at ``T_min`` (everything at the
+maximum clock), which is appended explicitly so both endpoints of §3.1 are
+always present.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import OptimizationError
+from ..graph.edgecentric import to_edge_centric
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import OpKey, PipelineProfile
+from ..units import TIME_EPS, ms
+from .costmodel import OpCostModel, build_cost_models
+from .nextschedule import get_next_schedule
+from .schedule import EnergySchedule, make_schedule
+
+#: Default planning granularity (1 ms, Appendix B.4).
+DEFAULT_TAU = ms(1.0)
+
+
+@dataclass
+class Frontier:
+    """The characterized time-energy frontier of one training pipeline.
+
+    Points are sorted by increasing iteration time; the first point is the
+    ``T_min`` schedule and the last the ``T*`` (minimum-energy) schedule.
+    """
+
+    points: List[EnergySchedule]
+    tau: float
+    optimizer_runtime_s: float = 0.0
+    steps: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise OptimizationError("a frontier needs at least one point")
+        self.points.sort(key=lambda p: p.iteration_time)
+        self._times = [p.iteration_time for p in self.points]
+
+    @property
+    def t_min(self) -> float:
+        """Fastest achievable iteration time."""
+        return self.points[0].iteration_time
+
+    @property
+    def t_star(self) -> float:
+        """Minimum-energy iteration time (``T*`` of §3.1)."""
+        return self.points[-1].iteration_time
+
+    @property
+    def min_time_schedule(self) -> EnergySchedule:
+        return self.points[0]
+
+    @property
+    def min_energy_schedule(self) -> EnergySchedule:
+        return self.points[-1]
+
+    def schedule_for(self, target_time: Optional[float]) -> EnergySchedule:
+        """Slowest frontier schedule whose iteration time <= the target.
+
+        ``None`` (no straggler) selects the ``T_min`` schedule.  The lookup
+        clamps to the frontier ends, implementing ``T_opt = min(T*, T')``
+        together with the Figure 3a case.
+        """
+        if target_time is None:
+            return self.points[0]
+        idx = bisect_right(self._times, target_time + TIME_EPS) - 1
+        if idx < 0:
+            return self.points[0]
+        return self.points[idx]
+
+    def as_series(self) -> List[tuple]:
+        """(time, compute_energy) pairs for plotting (Figures 9, 12, 13)."""
+        return [(p.iteration_time, p.compute_energy) for p in self.points]
+
+
+def characterize_frontier(
+    dag: ComputationDag,
+    profile: PipelineProfile,
+    tau: float = DEFAULT_TAU,
+    max_steps: Optional[int] = None,
+) -> Frontier:
+    """Run Algorithm 1: enumerate the whole frontier for one pipeline.
+
+    Args:
+        dag: Computation DAG of one training iteration.
+        profile: Profiled time/energy measurements + ``P_blocking``.
+        tau: Unit time reduction per step (trades runtime vs. granularity).
+        max_steps: Safety bound on steps (defaults to a generous multiple
+            of the Appendix-F bound ``O((t_max - t_min) / tau)``).
+    """
+    started = _time.perf_counter()
+    cost_models = build_cost_models(profile)
+    node_cost: Dict[int, OpCostModel] = {}
+    for node in dag.nodes:
+        op: OpKey = dag.nodes[node].op_key
+        if op not in cost_models:
+            raise OptimizationError(f"profile missing op {op}")
+        node_cost[node] = cost_models[op]
+
+    ecd = to_edge_centric(dag)
+
+    # Endpoint schedules (§3.1): all-fastest and all-min-energy.
+    fastest = {n: node_cost[n].t_min for n in dag.nodes}
+    slowest = {n: node_cost[n].t_max for n in dag.nodes}
+    t_min_schedule = make_schedule(dag, fastest, cost_models)
+
+    if max_steps is None:
+        span = max(
+            t_min_schedule.iteration_time,
+            dag.iteration_time(slowest) - t_min_schedule.iteration_time,
+        )
+        max_steps = int(span / tau * 4) + 64
+
+    points: List[EnergySchedule] = []
+    durations = slowest
+    steps = 0
+    while True:
+        points.append(make_schedule(dag, durations, cost_models))
+        if points[-1].iteration_time <= t_min_schedule.iteration_time + TIME_EPS:
+            break
+        if steps >= max_steps:
+            break
+        nxt = get_next_schedule(ecd, durations, node_cost, tau)
+        if nxt is None:
+            break
+        new_time = dag.iteration_time(nxt)
+        if new_time >= points[-1].iteration_time - TIME_EPS:
+            break  # no forward progress; stop rather than loop
+        durations = nxt
+        steps += 1
+
+    # Guarantee a T_min endpoint exists: if the crawl stalled more than one
+    # tau short of T_min, fall back to the all-fastest schedule for the gap.
+    if points[-1].iteration_time > t_min_schedule.iteration_time + tau:
+        points.append(t_min_schedule)
+
+    # Keep only Pareto-optimal points (later steps can dominate earlier
+    # ones when clamping makes a step land on a better-energy time).  In
+    # ascending time order, surviving points must strictly decrease in
+    # effective energy; points within tau/4 of each other in time collapse
+    # to the cheaper one.
+    points.sort(key=lambda p: (p.iteration_time, p.effective_energy))
+    pruned: List[EnergySchedule] = []
+    best = float("inf")
+    for p in points:
+        if p.effective_energy >= best - 1e-12:
+            continue
+        if pruned and p.iteration_time - pruned[-1].iteration_time < tau / 4:
+            pruned[-1] = p  # same time bucket, strictly cheaper
+        else:
+            pruned.append(p)
+        best = p.effective_energy
+
+    runtime = _time.perf_counter() - started
+    return Frontier(
+        points=pruned,
+        tau=tau,
+        optimizer_runtime_s=runtime,
+        steps=steps,
+        stats={
+            "num_computations": dag.num_computations,
+            "num_stages": dag.num_stages,
+            "num_microbatches": dag.num_microbatches,
+            "raw_points": len(points),
+        },
+    )

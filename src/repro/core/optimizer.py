@@ -1,0 +1,73 @@
+"""Top-level Perseus optimizer: DAG + profile -> frontier + lookups.
+
+This is the server-side computation of §3.2 steps 2-3: characterize the
+frontier once, then answer straggler lookups instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..pipeline.dag import ComputationDag
+from ..pipeline.schedules import Schedule, schedule_1f1b
+from ..pipeline.dag import build_pipeline_dag
+from ..profiler.measurement import PipelineProfile
+from .frontier import DEFAULT_TAU, Frontier, characterize_frontier
+from .schedule import EnergySchedule
+from .unified import energy_optimal_iteration_time, select_schedule
+
+
+@dataclass
+class PerseusOptimizer:
+    """Pre-characterizes a pipeline's frontier and serves schedule lookups."""
+
+    dag: ComputationDag
+    profile: PipelineProfile
+    tau: float = DEFAULT_TAU
+    _frontier: Optional[Frontier] = None
+
+    @classmethod
+    def for_1f1b(
+        cls,
+        profile: PipelineProfile,
+        num_stages: int,
+        num_microbatches: int,
+        tau: float = DEFAULT_TAU,
+    ) -> "PerseusOptimizer":
+        """Convenience constructor for the standard 1F1B schedule."""
+        dag = build_pipeline_dag(schedule_1f1b(num_stages, num_microbatches))
+        return cls(dag=dag, profile=profile, tau=tau)
+
+    @classmethod
+    def for_schedule(
+        cls,
+        profile: PipelineProfile,
+        schedule: Schedule,
+        tau: float = DEFAULT_TAU,
+    ) -> "PerseusOptimizer":
+        """Constructor for any DAG-expressible pipeline schedule (§4.4)."""
+        return cls(dag=build_pipeline_dag(schedule), profile=profile, tau=tau)
+
+    @property
+    def frontier(self) -> Frontier:
+        """The characterized frontier (computed lazily, cached)."""
+        if self._frontier is None:
+            self._frontier = characterize_frontier(
+                self.dag, self.profile, tau=self.tau
+            )
+        return self._frontier
+
+    def schedule_for_straggler(
+        self, straggler_time: Optional[float] = None
+    ) -> EnergySchedule:
+        """Energy schedule for ``T_opt = min(T*, T')`` (Eq. 2)."""
+        return select_schedule(self.frontier, straggler_time)
+
+    def t_opt(self, straggler_time: Optional[float]) -> float:
+        return energy_optimal_iteration_time(self.frontier, straggler_time)
+
+    @property
+    def runtime_s(self) -> float:
+        """Optimizer wall-clock runtime (§6.5 overhead metric)."""
+        return self.frontier.optimizer_runtime_s

@@ -1,0 +1,111 @@
+"""Energy schedules: the planner's output artifact (§3.2).
+
+An energy schedule annotates every computation in the iteration DAG with a
+planned duration (and, after realization, a GPU frequency).  The schedule's
+effective energy is Eq. 4's ``sum_i (e_i - P_blocking * t_i)``; total
+pipeline energy under a straggler follows Eq. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..exceptions import ScheduleError
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import OpKey
+from .costmodel import OpCostModel
+
+
+@dataclass(frozen=True)
+class EnergySchedule:
+    """Planned per-computation durations + derived energy figures."""
+
+    durations: Dict[int, float]
+    iteration_time: float
+    effective_energy: float  # Eq. 4: sum(e_i - P_blocking * t_i)
+    compute_energy: float  # sum(e_i)
+    frequencies: Dict[int, int] = field(default_factory=dict)
+
+    def total_energy(
+        self, num_stages: int, p_blocking_w: float, sync_time: Optional[float] = None
+    ) -> float:
+        """Full pipeline energy per Eq. 3.
+
+        ``sync_time`` is the straggler-gated iteration time ``T'`` (defaults
+        to this pipeline's own iteration time): blocking-on-communication
+        energy covers both intra-pipeline gaps and the wait for gradient
+        synchronization.
+        """
+        t_sync = self.iteration_time if sync_time is None else sync_time
+        if t_sync < self.iteration_time - 1e-9:
+            raise ScheduleError("sync time cannot precede iteration end")
+        return self.effective_energy + p_blocking_w * num_stages * t_sync
+
+    def duration_of(self, node: int) -> float:
+        if node not in self.durations:
+            raise ScheduleError(f"schedule has no duration for node {node}")
+        return self.durations[node]
+
+
+def op_of_node(dag: ComputationDag, node: int) -> OpKey:
+    """Profile key of a DAG node."""
+    return dag.nodes[node].op_key
+
+
+def schedule_energies(
+    dag: ComputationDag,
+    durations: Dict[int, float],
+    cost_models: Dict[OpKey, OpCostModel],
+) -> tuple:
+    """(effective_energy, compute_energy) of a duration assignment."""
+    effective = 0.0
+    compute = 0.0
+    for node, t in durations.items():
+        cm = cost_models[op_of_node(dag, node)]
+        e = cm.energy(t)
+        compute += e
+        effective += e - cm.p_blocking_w * t
+    return effective, compute
+
+
+def realize_frequencies(
+    dag: ComputationDag,
+    durations: Dict[int, float],
+    cost_models: Dict[OpKey, OpCostModel],
+) -> Dict[int, int]:
+    """Planned durations -> lockable SM clocks (Algorithm 2 line 8).
+
+    Each computation gets the *slowest* profiled frequency that runs no
+    slower than its planned duration, so realized execution can only be
+    faster than the plan and the critical path never stretches.
+    """
+    freqs: Dict[int, int] = {}
+    for node, t in durations.items():
+        cm = cost_models[op_of_node(dag, node)]
+        if cm.fixed:
+            freqs[node] = cm.profile.measurements[0].freq_mhz
+        else:
+            freqs[node] = cm.profile.frequency_for_time(t).freq_mhz
+    return freqs
+
+
+def make_schedule(
+    dag: ComputationDag,
+    durations: Dict[int, float],
+    cost_models: Dict[OpKey, OpCostModel],
+    realize: bool = True,
+) -> EnergySchedule:
+    """Bundle a duration assignment into a full :class:`EnergySchedule`."""
+    missing = [n for n in dag.nodes if n not in durations]
+    if missing:
+        raise ScheduleError(f"missing durations for nodes {missing[:5]}...")
+    effective, compute = schedule_energies(dag, durations, cost_models)
+    freqs = realize_frequencies(dag, durations, cost_models) if realize else {}
+    return EnergySchedule(
+        durations=dict(durations),
+        iteration_time=dag.iteration_time(durations),
+        effective_energy=effective,
+        compute_energy=compute,
+        frequencies=freqs,
+    )

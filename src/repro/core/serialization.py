@@ -1,0 +1,166 @@
+"""Persistence for profiles and frontiers.
+
+A cluster-wide Perseus server caches energy schedules "for fast lookup"
+(§3.2); across server restarts or for offline analysis, profiles and
+characterized frontiers round-trip through plain JSON here.  Formats are
+versioned and deliberately flat (no pickling) so they diff cleanly and can
+be consumed by plotting tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from ..exceptions import ReproError
+from ..profiler.measurement import Measurement, OpProfile, PipelineProfile
+from .frontier import Frontier
+from .schedule import EnergySchedule
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Payload is malformed or from an unsupported format version."""
+
+
+def _op_key_to_json(op) -> list:
+    return list(op)
+
+
+def _op_key_from_json(raw) -> tuple:
+    return tuple(raw)
+
+
+# ---------------------------------------------------------------------------
+# PipelineProfile
+# ---------------------------------------------------------------------------
+
+
+def profile_to_dict(profile: PipelineProfile) -> dict:
+    """JSON-ready representation of a pipeline profile."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "pipeline_profile",
+        "p_blocking_w": profile.p_blocking_w,
+        "ops": [
+            {
+                "op": _op_key_to_json(op),
+                "fixed": op_profile.fixed,
+                "measurements": [
+                    [m.freq_mhz, m.time_s, m.energy_j]
+                    for m in op_profile.measurements
+                ],
+            }
+            for op, op_profile in profile.ops.items()
+        ],
+    }
+
+
+def profile_from_dict(payload: dict) -> PipelineProfile:
+    """Inverse of :func:`profile_to_dict` (validates the result)."""
+    _expect(payload, "pipeline_profile")
+    profile = PipelineProfile(p_blocking_w=float(payload["p_blocking_w"]))
+    for entry in payload["ops"]:
+        op = _op_key_from_json(entry["op"])
+        op_profile = OpProfile(op=op, fixed=bool(entry["fixed"]))
+        for freq, t, e in entry["measurements"]:
+            op_profile.add(
+                Measurement(freq_mhz=int(freq), time_s=float(t),
+                            energy_j=float(e))
+            )
+        profile.ops[op] = op_profile
+    profile.validate()
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# EnergySchedule / Frontier
+# ---------------------------------------------------------------------------
+
+
+def schedule_to_dict(schedule: EnergySchedule) -> dict:
+    return {
+        "iteration_time": schedule.iteration_time,
+        "effective_energy": schedule.effective_energy,
+        "compute_energy": schedule.compute_energy,
+        "durations": {str(k): v for k, v in schedule.durations.items()},
+        "frequencies": {str(k): v for k, v in schedule.frequencies.items()},
+    }
+
+
+def schedule_from_dict(payload: dict) -> EnergySchedule:
+    return EnergySchedule(
+        durations={int(k): float(v) for k, v in payload["durations"].items()},
+        iteration_time=float(payload["iteration_time"]),
+        effective_energy=float(payload["effective_energy"]),
+        compute_energy=float(payload["compute_energy"]),
+        frequencies={int(k): int(v) for k, v in payload["frequencies"].items()},
+    )
+
+
+def frontier_to_dict(frontier: Frontier) -> dict:
+    """JSON-ready representation of a characterized frontier."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "frontier",
+        "tau": frontier.tau,
+        "optimizer_runtime_s": frontier.optimizer_runtime_s,
+        "steps": frontier.steps,
+        "stats": dict(frontier.stats),
+        "points": [schedule_to_dict(p) for p in frontier.points],
+    }
+
+
+def frontier_from_dict(payload: dict) -> Frontier:
+    """Inverse of :func:`frontier_to_dict`."""
+    _expect(payload, "frontier")
+    points = [schedule_from_dict(p) for p in payload["points"]]
+    if not points:
+        raise SerializationError("frontier payload has no points")
+    return Frontier(
+        points=points,
+        tau=float(payload["tau"]),
+        optimizer_runtime_s=float(payload.get("optimizer_runtime_s", 0.0)),
+        steps=int(payload.get("steps", 0)),
+        stats=dict(payload.get("stats", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+
+
+def save_json(obj: Union[PipelineProfile, Frontier], fp: IO[str]) -> None:
+    """Serialize a profile or frontier to an open text file."""
+    if isinstance(obj, PipelineProfile):
+        json.dump(profile_to_dict(obj), fp)
+    elif isinstance(obj, Frontier):
+        json.dump(frontier_to_dict(obj), fp)
+    else:
+        raise SerializationError(f"cannot serialize {type(obj).__name__}")
+
+
+def load_json(fp: IO[str]) -> Union[PipelineProfile, Frontier]:
+    """Load whichever supported object the file contains."""
+    payload = json.load(fp)
+    kind = payload.get("kind")
+    if kind == "pipeline_profile":
+        return profile_from_dict(payload)
+    if kind == "frontier":
+        return frontier_from_dict(payload)
+    raise SerializationError(f"unknown payload kind {kind!r}")
+
+
+def _expect(payload: dict, kind: str) -> None:
+    if not isinstance(payload, dict):
+        raise SerializationError("payload must be a JSON object")
+    if payload.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind {kind!r}, got {payload.get('kind')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {payload.get('version')!r}"
+        )

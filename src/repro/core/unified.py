@@ -1,0 +1,69 @@
+"""The unified optimization framework (§3.1).
+
+Given a straggler's iteration time ``T'``, a non-straggler pipeline's
+energy-optimal iteration time is the universal prescription of Eq. 2:
+
+    ``T_opt = min(T*, T')``
+
+covering the three cases of Figure 3: no straggler (run at ``T_min``),
+moderate straggler (use up all slack), and extreme straggler (never slow
+past the minimum-energy point ``T*`` -- beyond it energy *increases*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import OptimizationError
+from .frontier import Frontier
+from .schedule import EnergySchedule
+
+
+def energy_optimal_iteration_time(
+    frontier: Frontier, straggler_time: Optional[float]
+) -> float:
+    """Eq. 2: ``T_opt = min(T*, T')``, floored at ``T_min``."""
+    if straggler_time is None:
+        return frontier.t_min
+    if straggler_time <= 0:
+        raise OptimizationError("straggler iteration time must be positive")
+    return min(frontier.t_star, max(straggler_time, frontier.t_min))
+
+
+def select_schedule(
+    frontier: Frontier, straggler_time: Optional[float] = None
+) -> EnergySchedule:
+    """Look up the frontier schedule for a (possibly absent) straggler.
+
+    This is the server's instant reaction path (§3.2 step 5): a bisect over
+    the pre-characterized frontier, no re-optimization.
+    """
+    t_opt = energy_optimal_iteration_time(frontier, straggler_time)
+    return frontier.schedule_for(t_opt)
+
+
+@dataclass(frozen=True)
+class StragglerCase:
+    """Which Figure-3 regime a straggler falls into (for reporting)."""
+
+    t_prime: Optional[float]
+    t_min: float
+    t_star: float
+
+    @property
+    def name(self) -> str:
+        if self.t_prime is None or self.t_prime <= self.t_min:
+            return "no-straggler"  # Figure 3a
+        if self.t_prime <= self.t_star:
+            return "moderate-straggler"  # Figure 3b
+        return "extreme-straggler"  # Figure 3c
+
+
+def classify_straggler(
+    frontier: Frontier, straggler_time: Optional[float]
+) -> StragglerCase:
+    """Classify a straggler into the three cases of Figure 3."""
+    return StragglerCase(
+        t_prime=straggler_time, t_min=frontier.t_min, t_star=frontier.t_star
+    )

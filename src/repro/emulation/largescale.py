@@ -1,0 +1,240 @@
+"""Large-scale emulation (§6.3): GPT-3 175B / Bloom 176B on 1024-8192 GPUs.
+
+We cannot run 175B-parameter models on a testbed (neither could the
+authors): like the paper, the emulator grounds itself on layer-level
+profiles -- here produced by the analytical GPU substrate -- and runs the
+*same* optimization and accounting machinery as the real path.
+
+Strong scaling follows Table 5: global batch 1536, tensor-parallel degree
+8, eight pipeline stages; as the GPU count doubles, the pipeline count
+doubles and per-pipeline microbatches halve (96 -> 48 -> 24 -> 12), which
+drives the bubble-ratio effect of Table 6 / Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.optimizer import PerseusOptimizer
+from ..exceptions import ConfigurationError
+from ..experiments.runner import _auto_tau
+from ..gpu.specs import GPUSpec
+from ..models.registry import build_model
+from ..partition.algorithms import partition_model
+from ..pipeline.dag import build_pipeline_dag
+from ..pipeline.schedules import schedule_1f1b
+from ..profiler.online import profile_pipeline
+from ..sim.executor import (
+    execute_frequency_plan,
+    max_frequency_plan,
+)
+
+#: Table 5 strong-scaling rows: (num_gpus, num_pipelines, microbatches).
+TABLE5_SCALING = ((1024, 16, 96), (2048, 32, 48), (4096, 64, 24), (8192, 128, 12))
+GLOBAL_BATCH = 1536
+TENSOR_PARALLEL = 8
+PIPELINE_STAGES = 8
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """One strong-scaling point of Table 5."""
+
+    num_gpus: int
+    num_pipelines: int
+    num_microbatches: int
+
+    def __post_init__(self) -> None:
+        expected = self.num_pipelines * TENSOR_PARALLEL * PIPELINE_STAGES
+        if expected != self.num_gpus:
+            raise ConfigurationError(
+                f"{self.num_pipelines} pipelines x TP{TENSOR_PARALLEL} x "
+                f"PP{PIPELINE_STAGES} = {expected}, not {self.num_gpus} GPUs"
+            )
+
+
+def table5_configs() -> List[ScalingConfig]:
+    return [ScalingConfig(*row) for row in TABLE5_SCALING]
+
+
+@dataclass
+class EmulationSetup:
+    """One emulated (model, GPU, microbatch-count) pipeline."""
+
+    model_name: str
+    gpu: GPUSpec
+    num_microbatches: int
+    dag: object
+    profile: object
+    optimizer: PerseusOptimizer
+    per_gpu_scale: float = TENSOR_PARALLEL  # energy counted per TP group
+
+    _cache: Dict = field(default_factory=dict, repr=False)
+
+
+_SETUP_CACHE: Dict[tuple, EmulationSetup] = {}
+
+
+def prepare_emulation(
+    model_name: str,
+    gpu: GPUSpec,
+    num_microbatches: int,
+    microbatch_size: int = 1,
+    freq_stride: int = 4,
+    step_target: int = 200,
+) -> EmulationSetup:
+    """Profile one pipeline of the huge model and characterize its frontier.
+
+    Per §4.4, operator parallelism lets Perseus profile one GPU per stage
+    and replicate: the returned profile is the per-GPU (TP-sharded) view,
+    and per-pipeline energies scale by the TP degree.
+    """
+    key = (model_name, gpu.name, num_microbatches, microbatch_size, freq_stride)
+    if key in _SETUP_CACHE:
+        return _SETUP_CACHE[key]
+    model = build_model(model_name, microbatch_size)
+    partition = partition_model(model, PIPELINE_STAGES, gpu)
+    profile = profile_pipeline(
+        model,
+        partition,
+        gpu,
+        tensor_parallel=TENSOR_PARALLEL,
+        freq_stride=freq_stride,
+    )
+    dag = build_pipeline_dag(schedule_1f1b(PIPELINE_STAGES, num_microbatches))
+    tau = _auto_tau(dag, profile, step_target)
+    optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
+    setup = EmulationSetup(
+        model_name=model_name,
+        gpu=gpu,
+        num_microbatches=num_microbatches,
+        dag=dag,
+        profile=profile,
+        optimizer=optimizer,
+    )
+    _SETUP_CACHE[key] = setup
+    return setup
+
+
+def emulated_intrinsic_savings(setup: EmulationSetup) -> float:
+    """Table 6: intrinsic savings (%) without stragglers."""
+    base = execute_frequency_plan(
+        setup.dag, max_frequency_plan(setup.dag, setup.profile), setup.profile
+    )
+    schedule = setup.optimizer.schedule_for_straggler(None)
+    perseus = execute_frequency_plan(setup.dag, schedule.frequencies, setup.profile)
+    return 100.0 * (1.0 - perseus.total_energy() / base.total_energy())
+
+
+def emulated_straggler_savings(
+    setup: EmulationSetup,
+    num_pipelines: int,
+    slowdown: float,
+) -> float:
+    """Figure 8: job-level savings (%) with one straggler pipeline.
+
+    The straggler (at every scale there is exactly one) runs all-max but
+    throttled by ``slowdown``; baseline and Perseus differ only in the
+    ``num_pipelines - 1`` non-straggler pipelines.
+    """
+    if num_pipelines < 2:
+        raise ConfigurationError("need at least two pipelines for a straggler")
+    base = execute_frequency_plan(
+        setup.dag, max_frequency_plan(setup.dag, setup.profile), setup.profile
+    )
+    t_prime = base.iteration_time * slowdown
+    straggler_energy = (
+        base.compute_energy()  # throttled power x stretched time ~= energy
+        + base.p_blocking_w
+        * (base.num_devices() * t_prime - sum(
+            base.stage_busy_time(s) * slowdown for s in range(base.num_devices())
+        ))
+    )
+
+    base_non_straggler = base.total_energy(sync_time=t_prime)
+    schedule = setup.optimizer.schedule_for_straggler(t_prime)
+    perseus_exec = execute_frequency_plan(
+        setup.dag, schedule.frequencies, setup.profile
+    )
+    sync = max(t_prime, perseus_exec.iteration_time)
+    perseus_non_straggler = perseus_exec.total_energy(sync_time=sync)
+
+    n = num_pipelines - 1
+    base_total = straggler_energy + n * base_non_straggler
+    perseus_total = straggler_energy + n * perseus_non_straggler
+    return 100.0 * (1.0 - perseus_total / base_total)
+
+
+@dataclass(frozen=True)
+class BloatBreakdown:
+    """Figure 7: intrinsic vs extrinsic savings split (%)."""
+
+    intrinsic_pct: float
+    extrinsic_pct: float
+
+    @property
+    def total_pct(self) -> float:
+        return self.intrinsic_pct + self.extrinsic_pct
+
+
+def emulated_breakdown(
+    setup: EmulationSetup,
+    num_pipelines: int,
+    slowdown: float,
+    plan_override: Optional[Dict[int, int]] = None,
+) -> BloatBreakdown:
+    """Split job-level savings into intrinsic and extrinsic components.
+
+    Intrinsic: savings if non-stragglers kept the ``T_min`` schedule (only
+    intrinsic bloat removed).  Extrinsic: the additional savings from
+    slowing non-stragglers to ``T_opt``.  ``plan_override`` evaluates a
+    baseline plan (e.g. EnvPipe's) instead of Perseus's ``T_min`` schedule,
+    in which case the extrinsic share is zero by construction.
+    """
+    base = execute_frequency_plan(
+        setup.dag, max_frequency_plan(setup.dag, setup.profile), setup.profile
+    )
+    t_prime = base.iteration_time * slowdown
+    base_energy = base.total_energy(sync_time=t_prime)
+
+    if plan_override is not None:
+        intr_plan = plan_override
+        topt_plan = plan_override
+    else:
+        intr_plan = setup.optimizer.schedule_for_straggler(None).frequencies
+        topt_plan = setup.optimizer.schedule_for_straggler(t_prime).frequencies
+
+    intr_exec = execute_frequency_plan(setup.dag, intr_plan, setup.profile)
+    intr_energy = intr_exec.total_energy(
+        sync_time=max(t_prime, intr_exec.iteration_time)
+    )
+    full_exec = execute_frequency_plan(setup.dag, topt_plan, setup.profile)
+    full_energy = full_exec.total_energy(
+        sync_time=max(t_prime, full_exec.iteration_time)
+    )
+    intrinsic = 100.0 * (1.0 - intr_energy / base_energy)
+    total = 100.0 * (1.0 - full_energy / base_energy)
+    return BloatBreakdown(
+        intrinsic_pct=intrinsic, extrinsic_pct=max(total - intrinsic, 0.0)
+    )
+
+
+def t_star_ratio(setup: EmulationSetup) -> float:
+    """``T*/T_min`` -- the star markers of Figure 8."""
+    frontier = setup.optimizer.frontier
+    return frontier.t_star / frontier.t_min
+
+
+def microbatch_sweep(
+    model_name: str,
+    gpu: GPUSpec,
+    microbatch_counts: Sequence[int] = (12, 24, 48, 96),
+    freq_stride: int = 4,
+) -> Dict[int, float]:
+    """Table 6 row: intrinsic savings for each microbatch count."""
+    out: Dict[int, float] = {}
+    for m in microbatch_counts:
+        setup = prepare_emulation(model_name, gpu, m, freq_stride=freq_stride)
+        out[m] = emulated_intrinsic_savings(setup)
+    return out

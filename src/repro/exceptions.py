@@ -1,0 +1,66 @@
+"""Exception hierarchy for the Perseus reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base class at integration boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ProfilingError(ReproError):
+    """Profiling produced inconsistent or insufficient measurements."""
+
+
+class FitError(ReproError):
+    """Fitting the continuous time-energy relaxation failed."""
+
+
+class GraphError(ReproError):
+    """A DAG operation received a malformed graph (cycles, bad ids, ...)."""
+
+
+class InfeasibleFlowError(GraphError):
+    """Max-flow with lower bounds has no feasible flow (Algorithm 3).
+
+    ``violating_set`` (when present) is a node set whose mandatory
+    lower-bound in-flow exceeds its out-capacity -- i.e. a negative-value
+    cut, which for the planner means an energy-improving repair move.
+    """
+
+    violating_set = None
+
+
+class OptimizationError(ReproError):
+    """Frontier characterization failed to make progress."""
+
+
+class ScheduleError(ReproError):
+    """An energy schedule is inconsistent with its computation DAG."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event pipeline simulator hit an invalid state."""
+
+
+class PartitionError(ReproError):
+    """Stage partitioning was given impossible constraints."""
+
+
+class ServerError(ReproError):
+    """Perseus server-side failure (unknown job, bad notification, ...)."""
+
+
+class ClientError(ReproError):
+    """Perseus client-side failure (bad API usage, unknown computation)."""
+
+
+class NVMLError(ReproError):
+    """Simulated NVML rejected an operation (bad handle, bad clock, ...)."""

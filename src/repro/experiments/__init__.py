@@ -1,0 +1,59 @@
+"""Experiment harness: workloads, end-to-end runner, report formatting."""
+
+from .export import (
+    export_frontier,
+    export_straggler_sweep,
+    export_timeline,
+    frontier_series,
+    write_series,
+)
+from .report import format_table, print_table, shape_check
+from .runner import (
+    ExperimentSetup,
+    IntrinsicRow,
+    RealizedPotential,
+    StragglerRow,
+    evaluate_intrinsic,
+    evaluate_realized_potential,
+    evaluate_straggler,
+    prepare,
+    prepare_cached,
+)
+from .workloads import (
+    A40_3D_WORKLOAD,
+    A40_PP8_WORKLOADS,
+    A100_PP4_WORKLOADS,
+    ALL_WORKLOADS,
+    Workload,
+    effective_microbatches,
+    full_fidelity,
+    get_workload,
+)
+
+__all__ = [
+    "A40_3D_WORKLOAD",
+    "A40_PP8_WORKLOADS",
+    "A100_PP4_WORKLOADS",
+    "ALL_WORKLOADS",
+    "ExperimentSetup",
+    "IntrinsicRow",
+    "RealizedPotential",
+    "StragglerRow",
+    "Workload",
+    "effective_microbatches",
+    "evaluate_intrinsic",
+    "evaluate_realized_potential",
+    "evaluate_straggler",
+    "export_frontier",
+    "export_straggler_sweep",
+    "export_timeline",
+    "format_table",
+    "frontier_series",
+    "full_fidelity",
+    "get_workload",
+    "prepare",
+    "prepare_cached",
+    "print_table",
+    "shape_check",
+    "write_series",
+]

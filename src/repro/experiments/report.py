@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark output.
+
+Benchmarks print rows shaped like the paper's tables next to the paper's
+own numbers, so a reader can eyeball shape agreement straight from
+``pytest benchmarks/ --benchmark-only`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with auto-sized columns."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def shape_check(label: str, ours: float, paper: float, rel_tol: float = 0.6) -> str:
+    """One-line shape comparison: ours vs paper with a loose band marker.
+
+    We do not expect absolute agreement (different substrate); the marker
+    flags order-of-magnitude / sign disagreements for EXPERIMENTS.md.
+    """
+    if paper == 0:
+        ok = abs(ours) < 1.0
+    else:
+        ok = abs(ours - paper) <= rel_tol * abs(paper) + 2.0
+    mark = "ok" if ok else "DIVERGES"
+    return f"{label}: ours={ours:.1f} paper={paper:.1f} [{mark}]"

@@ -1,0 +1,235 @@
+"""End-to-end experiment pipeline: model -> partition -> profile -> plan.
+
+:func:`prepare` assembles everything an evaluation needs (and caches the
+expensive frontier characterization); the ``evaluate_*`` helpers produce
+the rows reported in the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.envpipe import envpipe_plan
+from ..baselines.static import max_frequency_plan, min_energy_plan
+from ..core.optimizer import PerseusOptimizer
+from ..models.layers import ModelSpec
+from ..models.registry import build_model
+from ..partition.algorithms import PartitionResult, partition_model
+from ..pipeline.dag import ComputationDag, build_pipeline_dag
+from ..pipeline.schedules import schedule_1f1b
+from ..profiler.measurement import PipelineProfile
+from ..profiler.online import profile_pipeline
+from ..sim.executor import PipelineExecution, execute_frequency_plan
+from .workloads import Workload, effective_microbatches, full_fidelity
+
+#: Target number of frontier steps when tau is derived automatically.
+DEFAULT_STEP_TARGET = 250
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything needed to evaluate one workload."""
+
+    workload: Workload
+    model: ModelSpec
+    partition: PartitionResult
+    profile: PipelineProfile
+    dag: ComputationDag
+    num_microbatches: int
+    tau: float
+    _optimizer: Optional[PerseusOptimizer] = field(default=None, repr=False)
+
+    @property
+    def optimizer(self) -> PerseusOptimizer:
+        if self._optimizer is None:
+            self._optimizer = PerseusOptimizer(
+                dag=self.dag, profile=self.profile, tau=self.tau
+            )
+        return self._optimizer
+
+    # -- realized executions -------------------------------------------------
+    def run_max_frequency(self) -> PipelineExecution:
+        return execute_frequency_plan(
+            self.dag, max_frequency_plan(self.dag, self.profile), self.profile
+        )
+
+    def run_min_energy(self) -> PipelineExecution:
+        return execute_frequency_plan(
+            self.dag, min_energy_plan(self.dag, self.profile), self.profile
+        )
+
+    def run_envpipe(self) -> PipelineExecution:
+        return execute_frequency_plan(
+            self.dag, envpipe_plan(self.dag, self.profile), self.profile
+        )
+
+    def run_perseus(self, straggler_time: Optional[float] = None) -> PipelineExecution:
+        schedule = self.optimizer.schedule_for_straggler(straggler_time)
+        return execute_frequency_plan(self.dag, schedule.frequencies, self.profile)
+
+
+def _auto_tau(dag: ComputationDag, profile: PipelineProfile, steps: int) -> float:
+    """Pick tau so the crawl takes ~``steps`` iterations (span / steps)."""
+    fast = execute_frequency_plan(dag, max_frequency_plan(dag, profile), profile)
+    slow = execute_frequency_plan(dag, min_energy_plan(dag, profile), profile)
+    span = max(slow.iteration_time - fast.iteration_time, 1e-6)
+    return span / steps
+
+
+def prepare(
+    workload: Workload,
+    num_microbatches: Optional[int] = None,
+    freq_stride: Optional[int] = None,
+    tau: Optional[float] = None,
+    noise: float = 0.0,
+    seed: int = 0,
+    step_target: int = DEFAULT_STEP_TARGET,
+) -> ExperimentSetup:
+    """Build the full experiment stack for a workload.
+
+    Args:
+        num_microbatches: Override the (scaled) microbatch count.
+        freq_stride: Frequency-ladder subsampling (defaults: 1 at full
+            fidelity, 4 otherwise).
+        tau: Planning granularity; derived from the frontier span if None.
+        noise: Multiplicative profiling noise (robustness experiments).
+    """
+    stride = freq_stride if freq_stride is not None else (1 if full_fidelity() else 4)
+    m = effective_microbatches(workload, num_microbatches)
+    model = build_model(workload.model_name, workload.microbatch_size)
+    partition = partition_model(model, workload.num_stages, workload.gpu)
+    profile = profile_pipeline(
+        model,
+        partition,
+        workload.gpu,
+        tensor_parallel=workload.tensor_parallel,
+        freq_stride=stride,
+        noise=noise,
+        seed=seed,
+    )
+    dag = build_pipeline_dag(schedule_1f1b(workload.num_stages, m))
+    if tau is None:
+        tau = _auto_tau(dag, profile, step_target)
+    return ExperimentSetup(
+        workload=workload,
+        model=model,
+        partition=partition,
+        profile=profile,
+        dag=dag,
+        num_microbatches=m,
+        tau=tau,
+    )
+
+
+@lru_cache(maxsize=32)
+def prepare_cached(workload_key: str, num_microbatches: Optional[int] = None) -> ExperimentSetup:
+    """Cache-by-key variant so benchmark files can share setups."""
+    from .workloads import get_workload
+
+    return prepare(get_workload(workload_key), num_microbatches=num_microbatches)
+
+
+# ---------------------------------------------------------------------------
+# Table rows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntrinsicRow:
+    """One row of Table 3: intrinsic savings without stragglers."""
+
+    workload: str
+    method: str
+    energy_savings_pct: float
+    slowdown_pct: float
+
+
+def evaluate_intrinsic(setup: ExperimentSetup) -> List[IntrinsicRow]:
+    """Perseus vs EnvPipe intrinsic-bloat reduction (Table 3)."""
+    base = setup.run_max_frequency()
+    rows = []
+    for method, execution in (
+        ("Perseus", setup.run_perseus()),
+        ("EnvPipe", setup.run_envpipe()),
+    ):
+        rows.append(
+            IntrinsicRow(
+                workload=setup.workload.display,
+                method=method,
+                energy_savings_pct=100.0
+                * (1.0 - execution.total_energy() / base.total_energy()),
+                slowdown_pct=100.0
+                * (execution.iteration_time / base.iteration_time - 1.0),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class StragglerRow:
+    """One cell group of Table 4: savings at one straggler slowdown."""
+
+    workload: str
+    method: str
+    slowdown_factor: float
+    energy_savings_pct: float
+
+
+def evaluate_straggler(
+    setup: ExperimentSetup,
+    slowdown_factors: Sequence[float] = (1.05, 1.1, 1.2, 1.3, 1.4, 1.5),
+) -> List[StragglerRow]:
+    """Non-straggler pipeline savings vs straggler slowdown (Table 4).
+
+    Baseline: the non-straggler runs all-max and blocks until the straggler
+    (at ``T' = factor * T_max``) finishes.  Perseus slows the pipeline to
+    ``T_opt = min(T*, T')``; EnvPipe applies its fixed plan regardless.
+    """
+    base = setup.run_max_frequency()
+    t_base = base.iteration_time
+    envpipe = setup.run_envpipe()
+    rows: List[StragglerRow] = []
+    for factor in slowdown_factors:
+        t_prime = factor * t_base
+        base_energy = base.total_energy(sync_time=t_prime)
+        perseus = setup.run_perseus(straggler_time=t_prime)
+        for method, execution in (("Perseus", perseus), ("EnvPipe", envpipe)):
+            sync = max(t_prime, execution.iteration_time)
+            rows.append(
+                StragglerRow(
+                    workload=setup.workload.display,
+                    method=method,
+                    slowdown_factor=factor,
+                    energy_savings_pct=100.0
+                    * (1.0 - execution.total_energy(sync_time=sync) / base_energy),
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class RealizedPotential:
+    """§6.2.3: fraction of the §2.4 upper-bound savings Perseus realizes."""
+
+    workload: str
+    potential_pct: float
+    realized_pct: float
+    fraction: float
+
+
+def evaluate_realized_potential(setup: ExperimentSetup) -> RealizedPotential:
+    base = setup.run_max_frequency()
+    upper = setup.run_min_energy()
+    perseus = setup.run_perseus()
+    # Potential: computation energy at min-energy clocks vs at max clocks,
+    # compared at the baseline's own iteration horizon (§2.4's bound).
+    potential = 1.0 - upper.compute_energy() / base.compute_energy()
+    realized = 1.0 - perseus.total_energy() / base.total_energy()
+    return RealizedPotential(
+        workload=setup.workload.display,
+        potential_pct=100.0 * potential,
+        realized_pct=100.0 * realized,
+        fraction=realized / potential if potential > 0 else 0.0,
+    )

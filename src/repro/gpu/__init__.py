@@ -1,0 +1,37 @@
+"""GPU substrate: frequency ladders, device specs, power/energy models, NVML.
+
+This package replaces the physical A100/A40 testbed of the paper with a
+calibrated analytical model (see DESIGN.md §2 for the substitution argument).
+"""
+
+from .energy_model import ComputationEnergyModel, WorkProfile
+from .frequency import FrequencyTable
+from .nvml import SimDevice, SimulatedNVML
+from .power import PowerModel
+from .specs import (
+    A40,
+    A100_PCIE,
+    A100_SXM,
+    GPUSpec,
+    H100_SXM,
+    V100_SXM,
+    get_gpu,
+    list_gpus,
+)
+
+__all__ = [
+    "A40",
+    "A100_PCIE",
+    "A100_SXM",
+    "H100_SXM",
+    "V100_SXM",
+    "ComputationEnergyModel",
+    "FrequencyTable",
+    "GPUSpec",
+    "PowerModel",
+    "SimDevice",
+    "SimulatedNVML",
+    "WorkProfile",
+    "get_gpu",
+    "list_gpus",
+]

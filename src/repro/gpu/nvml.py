@@ -1,0 +1,145 @@
+"""Simulated NVML (NVIDIA Management Library).
+
+The Perseus client locks SM clocks and reads power/energy counters through
+NVML.  This module provides an in-process stand-in driven by *simulated
+time*: the training engine tells each device when activity happens and at
+what power, and NVML-side queries integrate those records.
+
+Fidelity notes (matching the paper's assumptions, §3.1 footnote 3 and §5):
+
+* Locking a clock takes ~10 ms to apply -- requests are timestamped and only
+  take effect after :attr:`clock_apply_latency_s`.
+* With a locked clock, computation latency is deterministic; the energy
+  counter is an exact integral of recorded power over simulated time, plus
+  idle power for uncovered intervals.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..exceptions import NVMLError
+from ..units import TIME_EPS
+from .specs import GPUSpec
+
+
+@dataclass
+class _ActivitySegment:
+    start: float
+    end: float
+    power_w: float
+
+
+@dataclass
+class SimDevice:
+    """One simulated GPU: clock request log + activity (power) log."""
+
+    index: int
+    spec: GPUSpec
+    clock_apply_latency_s: float = 0.010
+    _clock_events: List[Tuple[float, int]] = field(default_factory=list)
+    _segments: List[_ActivitySegment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Device boots at the maximum clock (default autoboost behaviour).
+        self._clock_events.append((float("-inf"), self.spec.max_freq))
+
+    # -- clock control -----------------------------------------------------
+    def lock_sm_clock(self, freq_mhz: int, now: float) -> None:
+        """Request an SM clock lock; takes effect after the apply latency."""
+        if freq_mhz not in self.spec.freq:
+            raise NVMLError(
+                f"{self.spec.name}: {freq_mhz} MHz is not a supported SM clock"
+            )
+        apply_at = now + self.clock_apply_latency_s
+        if self._clock_events and apply_at < self._clock_events[-1][0] - TIME_EPS:
+            raise NVMLError("clock requests must be issued in time order")
+        self._clock_events.append((apply_at, freq_mhz))
+
+    def reset_sm_clock(self, now: float) -> None:
+        """Return to the default (maximum) clock."""
+        self._clock_events.append(
+            (now + self.clock_apply_latency_s, self.spec.max_freq)
+        )
+
+    def sm_clock(self, now: float) -> int:
+        """Effective SM clock at simulated time ``now``."""
+        times = [t for t, _ in self._clock_events]
+        i = bisect.bisect_right(times, now) - 1
+        if i < 0:
+            return self.spec.max_freq
+        return self._clock_events[i][1]
+
+    # -- activity / power --------------------------------------------------
+    def record_activity(self, start: float, end: float, power_w: float) -> None:
+        """Record that the device drew ``power_w`` over ``[start, end]``.
+
+        Segments must be appended in non-overlapping time order (a GPU runs
+        one kernel stream in our pipeline engine).
+        """
+        if end < start - TIME_EPS:
+            raise NVMLError(f"segment end {end} before start {start}")
+        if self._segments and start < self._segments[-1].end - TIME_EPS:
+            raise NVMLError("activity segments must not overlap")
+        if power_w < 0:
+            raise NVMLError("power must be non-negative")
+        self._segments.append(_ActivitySegment(start, end, power_w))
+
+    def power_draw(self, now: float) -> float:
+        """Instantaneous board power at time ``now`` (idle if no activity)."""
+        for seg in reversed(self._segments):
+            if seg.start - TIME_EPS <= now <= seg.end + TIME_EPS:
+                return seg.power_w
+            if seg.end < now - TIME_EPS:
+                break
+        return self.spec.idle_w
+
+    def energy_counter(self, now: float, since: float = 0.0) -> float:
+        """Total joules consumed over ``[since, now]``.
+
+        Active intervals integrate their recorded power; uncovered intervals
+        integrate idle power -- mirroring ``nvmlDeviceGetTotalEnergyConsumption``.
+        """
+        if now < since:
+            raise NVMLError("energy query interval is reversed")
+        energy = 0.0
+        covered = 0.0
+        for seg in self._segments:
+            lo = max(seg.start, since)
+            hi = min(seg.end, now)
+            if hi > lo:
+                energy += seg.power_w * (hi - lo)
+                covered += hi - lo
+        energy += self.spec.idle_w * max(0.0, (now - since) - covered)
+        return energy
+
+
+class SimulatedNVML:
+    """A host's view over a set of simulated devices."""
+
+    def __init__(
+        self,
+        spec: GPUSpec,
+        num_devices: int,
+        clock_apply_latency_s: float = 0.010,
+    ):
+        if num_devices <= 0:
+            raise NVMLError("need at least one device")
+        self.spec = spec
+        self.devices = [
+            SimDevice(i, spec, clock_apply_latency_s) for i in range(num_devices)
+        ]
+
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> SimDevice:
+        if not 0 <= index < len(self.devices):
+            raise NVMLError(f"bad device index {index}")
+        return self.devices[index]
+
+    def total_energy(self, now: float) -> float:
+        """Sum of all devices' energy counters up to ``now``."""
+        return sum(d.energy_counter(now) for d in self.devices)

@@ -1,0 +1,33 @@
+"""Graph algorithms: max-flow, bounded min-cut, critical-path analysis."""
+
+from .critical import (
+    EventTimes,
+    critical_computations,
+    critical_edge_indices,
+    critical_subgraph,
+    edge_duration,
+    event_times,
+)
+from .edgecentric import ECEdge, EdgeCentricDag, to_edge_centric
+from .lowerbounds import BoundedEdge, MinCutResult, max_flow_with_lower_bounds
+from .maxflow import FLOW_EPS, INF, Dinic, FlowNetwork, edmonds_karp
+
+__all__ = [
+    "BoundedEdge",
+    "Dinic",
+    "ECEdge",
+    "EdgeCentricDag",
+    "EventTimes",
+    "FLOW_EPS",
+    "FlowNetwork",
+    "INF",
+    "MinCutResult",
+    "critical_computations",
+    "critical_edge_indices",
+    "critical_subgraph",
+    "edge_duration",
+    "edmonds_karp",
+    "event_times",
+    "max_flow_with_lower_bounds",
+    "to_edge_centric",
+]

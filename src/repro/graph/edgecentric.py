@@ -1,0 +1,107 @@
+"""Node-centric to edge-centric DAG conversion (§4.3, Figure 6 step 2).
+
+The cut-based planner needs computations on *edges* (activity-on-arc form):
+each computation node is split into an ``in``/``out`` node pair connected by
+an activity edge; each dependency becomes a zero-duration edge between the
+corresponding ``out`` and ``in`` nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import GraphError
+from ..pipeline.dag import SINK, SOURCE, ComputationDag
+
+
+@dataclass(frozen=True)
+class ECEdge:
+    """One edge of the edge-centric DAG.
+
+    ``comp`` is the node-centric computation id carried by this edge, or
+    ``None`` for a pure dependency edge (fixed zero duration).
+    """
+
+    u: int
+    v: int
+    comp: Optional[int] = None
+
+
+@dataclass
+class EdgeCentricDag:
+    """Activity-on-arc form of a computation DAG.
+
+    Node 0 is the source (``s``), node 1 the sink (``t``); computation ``i``
+    owns nodes ``2 + 2i`` (in) and ``3 + 2i`` (out).
+    """
+
+    num_nodes: int
+    edges: List[ECEdge]
+    s: int = 0
+    t: int = 1
+    out_edges: Dict[int, List[int]] = field(default_factory=dict)
+    in_edges: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.out_edges:
+            self.out_edges = {n: [] for n in range(self.num_nodes)}
+            self.in_edges = {n: [] for n in range(self.num_nodes)}
+            for idx, e in enumerate(self.edges):
+                self.out_edges[e.u].append(idx)
+                self.in_edges[e.v].append(idx)
+
+    def in_node(self, comp: int) -> int:
+        return 2 + 2 * comp
+
+    def out_node(self, comp: int) -> int:
+        return 3 + 2 * comp
+
+    def topological_nodes(self) -> List[int]:
+        """Topological node order; raises on cycles."""
+        indeg = {n: len(self.in_edges[n]) for n in range(self.num_nodes)}
+        stack = [n for n, d in indeg.items() if d == 0]
+        order: List[int] = []
+        while stack:
+            u = stack.pop()
+            order.append(u)
+            for idx in self.out_edges[u]:
+                v = self.edges[idx].v
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    stack.append(v)
+        if len(order) != self.num_nodes:
+            raise GraphError("edge-centric DAG contains a cycle")
+        return order
+
+
+def to_edge_centric(dag: ComputationDag) -> EdgeCentricDag:
+    """Split each computation node into an in/out pair (Figure 6 step 2)."""
+    comp_ids = dag.computation_ids()
+    if comp_ids and (min(comp_ids) != 0 or max(comp_ids) != len(comp_ids) - 1):
+        raise GraphError("computation ids must be dense 0..n-1")
+
+    num_nodes = 2 + 2 * len(comp_ids)
+    edges: List[ECEdge] = []
+
+    def in_node(i: int) -> int:
+        return 2 + 2 * i
+
+    def out_node(i: int) -> int:
+        return 3 + 2 * i
+
+    for i in comp_ids:
+        edges.append(ECEdge(in_node(i), out_node(i), comp=i))
+
+    for u in list(dag.succ):
+        for v in dag.succ[u]:
+            if u == SOURCE:
+                if v == SINK:
+                    raise GraphError("SOURCE -> SINK edge is meaningless")
+                edges.append(ECEdge(0, in_node(v)))
+            elif v == SINK:
+                edges.append(ECEdge(out_node(u), 1))
+            else:
+                edges.append(ECEdge(out_node(u), in_node(v)))
+
+    return EdgeCentricDag(num_nodes=num_nodes, edges=edges)

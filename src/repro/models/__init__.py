@@ -1,0 +1,35 @@
+"""Model zoo: layer-granularity specs for the paper's workloads."""
+
+from .layers import (
+    BACKWARD_MULTIPLIER,
+    BACKWARD_MULTIPLIER_RECOMPUTE,
+    LayerSpec,
+    ModelSpec,
+)
+from .registry import ModelEntry, build_model, get_entry, list_models
+from .transformer import (
+    TransformerConfig,
+    build_transformer,
+    embedding_work,
+    lm_head_work,
+    transformer_layer_work,
+)
+from .wideresnet import WideResNetConfig, bottleneck_work, build_wide_resnet
+
+__all__ = [
+    "BACKWARD_MULTIPLIER",
+    "BACKWARD_MULTIPLIER_RECOMPUTE",
+    "LayerSpec",
+    "ModelEntry",
+    "ModelSpec",
+    "TransformerConfig",
+    "WideResNetConfig",
+    "bottleneck_work",
+    "build_model",
+    "build_transformer",
+    "build_wide_resnet",
+    "embedding_work",
+    "get_entry",
+    "list_models",
+    "transformer_layer_work",
+]

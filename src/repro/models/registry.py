@@ -1,0 +1,177 @@
+"""Named model zoo mirroring the paper's workload table (Appendix B.4).
+
+Variant names follow Huggingface / Torch Vision conventions used in
+Tables 8-10: ``gpt3-xl`` (1.3B), ``gpt3-2.7b``, ``gpt3-6.7b``, ``gpt3-13b``,
+``gpt3-175b``, ``bloom-3b``/``-7b``/``-176b``, ``bert-base``/``-large``/
+``-huge``, ``t5-base``/``-large``/``-3b``, ``wide-resnet50``/``101``
+(width factor 8).
+
+Layer counts reproduce the partition tables in Appendix B exactly:
+GPT-3 1.3B has 25 partitionable layers (embedding + 24 blocks) with the LM
+head pinned to the last stage; Wide-ResNet101 has 35 (stem + 33 bottlenecks
++ classifier); and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ConfigurationError
+from .layers import ModelSpec
+from .transformer import TransformerConfig, build_transformer
+from .wideresnet import WideResNetConfig, build_wide_resnet
+
+GPT3_VOCAB = 50257
+BLOOM_VOCAB = 250880
+BERT_VOCAB = 30522
+T5_VOCAB = 32128
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """Registry record: how to build a variant + its default microbatch."""
+
+    key: str
+    family: str
+    size_label: str  # e.g. "1.3B" -- used in benchmark tables
+    builder: Callable[[int], ModelSpec]
+    default_microbatch: int
+
+
+def _transformer_entry(
+    key: str,
+    family: str,
+    size_label: str,
+    cfg: TransformerConfig,
+    default_microbatch: int,
+) -> ModelEntry:
+    def build(mb: int) -> ModelSpec:
+        return build_transformer(cfg, mb)
+
+    return ModelEntry(key, family, size_label, build, default_microbatch)
+
+
+def _wrn_entry(
+    key: str, size_label: str, cfg: WideResNetConfig, default_microbatch: int
+) -> ModelEntry:
+    def build(mb: int) -> ModelSpec:
+        return build_wide_resnet(cfg, mb)
+
+    return ModelEntry(key, "wide-resnet", size_label, build, default_microbatch)
+
+
+_ENTRIES = [
+    # ----- GPT-3 (decoder-only, vocab 50257, seq 2048) ------------------
+    _transformer_entry(
+        "gpt3-xl", "gpt3", "1.3B",
+        TransformerConfig("gpt3-xl", 24, 2048, 16, GPT3_VOCAB, 2048), 4,
+    ),
+    _transformer_entry(
+        "gpt3-2.7b", "gpt3", "2.7B",
+        TransformerConfig("gpt3-2.7b", 32, 2560, 32, GPT3_VOCAB, 2048), 4,
+    ),
+    _transformer_entry(
+        "gpt3-6.7b", "gpt3", "6.7B",
+        TransformerConfig("gpt3-6.7b", 32, 4096, 32, GPT3_VOCAB, 2048), 4,
+    ),
+    _transformer_entry(
+        "gpt3-13b", "gpt3", "13B",
+        TransformerConfig("gpt3-13b", 40, 5140, 40, GPT3_VOCAB, 2048), 2,
+    ),
+    _transformer_entry(
+        "gpt3-175b", "gpt3", "175B",
+        TransformerConfig("gpt3-175b", 96, 12288, 96, GPT3_VOCAB, 2048), 1,
+    ),
+    # ----- Bloom (decoder-only, vocab 250880, seq 2048) -----------------
+    _transformer_entry(
+        "bloom-3b", "bloom", "3B",
+        TransformerConfig("bloom-3b", 30, 2560, 32, BLOOM_VOCAB, 2048), 4,
+    ),
+    _transformer_entry(
+        "bloom-7b", "bloom", "7.1B",
+        TransformerConfig("bloom-7b", 30, 4096, 32, BLOOM_VOCAB, 2048), 4,
+    ),
+    _transformer_entry(
+        "bloom-176b", "bloom", "176B",
+        TransformerConfig("bloom-176b", 70, 14336, 112, BLOOM_VOCAB, 2048), 1,
+    ),
+    # ----- BERT (encoder-only, vocab 30522, seq 512) --------------------
+    _transformer_entry(
+        "bert-base", "bert", "0.1B",
+        TransformerConfig("bert-base", 12, 768, 12, BERT_VOCAB, 512), 8,
+    ),
+    _transformer_entry(
+        "bert-large", "bert", "0.3B",
+        TransformerConfig("bert-large", 24, 1024, 16, BERT_VOCAB, 512), 8,
+    ),
+    _transformer_entry(
+        "bert-huge", "bert", "1.3B",
+        TransformerConfig("bert-huge", 24, 2048, 32, BERT_VOCAB, 512), 8,
+    ),
+    # ----- T5 (encoder-decoder, vocab 32128, seq 512) -------------------
+    _transformer_entry(
+        "t5-base", "t5", "0.2B",
+        TransformerConfig(
+            "t5-base", 24, 768, 12, T5_VOCAB, 512,
+            d_ff=3072, num_decoder_layers=12,
+        ), 8,
+    ),
+    _transformer_entry(
+        "t5-large", "t5", "0.7B",
+        TransformerConfig(
+            "t5-large", 48, 1024, 16, T5_VOCAB, 512,
+            d_ff=4096, num_decoder_layers=24,
+        ), 4,
+    ),
+    _transformer_entry(
+        "t5-3b", "t5", "2.9B",
+        TransformerConfig(
+            "t5-3b", 48, 1024, 32, T5_VOCAB, 512,
+            d_attn=4096, d_ff=16384, num_decoder_layers=24,
+        ), 4,
+    ),
+    # ----- Wide-ResNet (width factor 8, ImageNet) ------------------------
+    _wrn_entry(
+        "wide-resnet50", "0.8B", WideResNetConfig("wide-resnet50", 50, 8), 32
+    ),
+    _wrn_entry(
+        "wide-resnet101", "1.5B", WideResNetConfig("wide-resnet101", 101, 8), 32
+    ),
+]
+
+_REGISTRY: Dict[str, ModelEntry] = {e.key: e for e in _ENTRIES}
+_ALIASES = {
+    "gpt3-1.3b": "gpt3-xl",
+    "gpt3-1b": "gpt3-xl",
+    "gpt3-3b": "gpt3-2.7b",
+    "gpt3-7b": "gpt3-6.7b",
+    "bert-huge-uncased": "bert-huge",
+    "wrn50": "wide-resnet50",
+    "wrn101": "wide-resnet101",
+}
+
+
+def get_entry(name: str) -> ModelEntry:
+    """Registry record for a variant name or alias."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown model {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def build_model(name: str, microbatch_size: Optional[int] = None) -> ModelSpec:
+    """Build a model variant with its paper-default (or given) microbatch."""
+    entry = get_entry(name)
+    mb = entry.default_microbatch if microbatch_size is None else microbatch_size
+    if mb <= 0:
+        raise ConfigurationError("microbatch size must be positive")
+    return entry.builder(mb)
+
+
+def list_models() -> list:
+    """All canonical variant names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,160 @@
+"""Wide-ResNet builders (Wide-ResNet50/101 with width factor 8).
+
+The paper scales Torch Vision's ResNet-50/101 by a width factor of 8
+(Appendix B.4) to reach 0.8B / 1.5B parameters and partitions at Bottleneck
+granularity -- a Bottleneck being three convolutions wrapped with a skip
+connection, which frameworks cannot split (Appendix B, footnote 2).
+
+Work accounting per convolution: ``2 * H*W * C_in * C_out * k*k`` FLOPs and
+one weight + one activation sweep of memory traffic.  Four spatially
+shrinking stages give four distinct Bottleneck sizes laid out sequentially,
+so even minimum-imbalance partitioning cannot balance stages perfectly --
+exactly the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..exceptions import ConfigurationError
+from ..gpu.energy_model import WorkProfile
+from .layers import LayerSpec, ModelSpec
+
+BYTES_PER_ELEM = 2  # fp16 activations/weights
+#: Achieved fraction of peak FLOP/s for implicit-GEMM convolutions
+#: interleaved with mem-bound batchnorm/ReLU.
+CONV_EFFICIENCY = 0.6
+#: (num_blocks per stage) for the two depths used in the paper.
+RESNET_DEPTHS = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3)}
+#: Base mid-channel widths of ResNet bottleneck stages (before width factor).
+BASE_WIDTHS = (64, 128, 256, 512)
+EXPANSION = 4  # bottleneck output channels = 4 * mid channels
+STAGE_RESOLUTION = (56, 28, 14, 7)  # feature-map side at 224x224 input
+
+
+def _conv_flops(hw: int, c_in: int, c_out: int, k: int) -> float:
+    return 2.0 * hw * hw * c_in * c_out * k * k
+
+
+def _conv_params(c_in: int, c_out: int, k: int) -> int:
+    return c_in * c_out * k * k
+
+
+@dataclass(frozen=True)
+class WideResNetConfig:
+    """Wide-ResNet architecture description."""
+
+    name: str
+    depth: int  # 50 or 101
+    width_factor: int = 8
+    image_size: int = 224
+    num_classes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.depth not in RESNET_DEPTHS:
+            raise ConfigurationError(f"unsupported ResNet depth {self.depth}")
+        if self.width_factor <= 0:
+            raise ConfigurationError("width factor must be positive")
+
+    def bottleneck_plan(self) -> List[Tuple[int, int, int, int]]:
+        """Per-bottleneck (resolution, c_in, mid, c_out) tuples in order."""
+        plan = []
+        c_in = 64  # stem output channels
+        for stage, blocks in enumerate(RESNET_DEPTHS[self.depth]):
+            mid = BASE_WIDTHS[stage] * self.width_factor
+            c_out = BASE_WIDTHS[stage] * EXPANSION
+            hw = STAGE_RESOLUTION[stage]
+            for _ in range(blocks):
+                plan.append((hw, c_in, mid, c_out))
+                c_in = c_out
+        return plan
+
+    @property
+    def total_params(self) -> int:
+        params = _conv_params(3, 64, 7)  # stem
+        for _, c_in, mid, c_out in self.bottleneck_plan():
+            params += _conv_params(c_in, mid, 1)
+            params += _conv_params(mid, mid, 3)
+            params += _conv_params(mid, c_out, 1)
+            if c_in != c_out:
+                params += _conv_params(c_in, c_out, 1)  # downsample shortcut
+        params += BASE_WIDTHS[-1] * EXPANSION * self.num_classes  # classifier
+        return params
+
+
+def bottleneck_work(
+    hw: int, c_in: int, mid: int, c_out: int, microbatch: int
+) -> WorkProfile:
+    """Forward work of one Bottleneck block over one microbatch."""
+    flops = microbatch * (
+        _conv_flops(hw, c_in, mid, 1)
+        + _conv_flops(hw, mid, mid, 3)
+        + _conv_flops(hw, mid, c_out, 1)
+    )
+    params = _conv_params(c_in, mid, 1) + _conv_params(mid, mid, 3) + _conv_params(
+        mid, c_out, 1
+    )
+    act = microbatch * hw * hw * (c_in + 2 * mid + c_out)
+    return WorkProfile(
+        flops=flops,
+        mem_bytes=(params + 2 * act) * BYTES_PER_ELEM,
+        compute_efficiency=CONV_EFFICIENCY,
+    )
+
+
+def build_wide_resnet(cfg: WideResNetConfig, microbatch_size: int) -> ModelSpec:
+    """Materialize a ModelSpec: ``[stem] + bottlenecks + [classifier]``.
+
+    Unlike Transformers, the classifier is tiny, so it is a normal
+    partitionable layer rather than a pinned tail -- matching the paper's
+    layer counts (Wide-ResNet101: 35 = stem + 33 bottlenecks + classifier).
+    """
+    if microbatch_size <= 0:
+        raise ConfigurationError("microbatch size must be positive")
+    b = microbatch_size
+    stem_hw = 112
+    stem_flops = b * _conv_flops(stem_hw, 3, 64, 7)
+    stem_bytes = (
+        _conv_params(3, 64, 7)
+        + 2 * b * stem_hw * stem_hw * 64
+        + b * cfg.image_size * cfg.image_size * 3
+    ) * BYTES_PER_ELEM
+    layers = [
+        LayerSpec(
+            name="stem",
+            kind="stem",
+            forward=WorkProfile(flops=stem_flops, mem_bytes=stem_bytes),
+        )
+    ]
+    for i, (hw, c_in, mid, c_out) in enumerate(cfg.bottleneck_plan()):
+        layers.append(
+            LayerSpec(
+                name=f"bottleneck.{i}",
+                kind="bottleneck",
+                forward=bottleneck_work(hw, c_in, mid, c_out, b),
+            )
+        )
+    final_channels = BASE_WIDTHS[-1] * EXPANSION
+    cls_flops = 2.0 * b * final_channels * cfg.num_classes
+    cls_bytes = (
+        final_channels * cfg.num_classes + b * (final_channels + cfg.num_classes)
+    ) * BYTES_PER_ELEM
+    layers.append(
+        LayerSpec(
+            name="classifier",
+            kind="classifier",
+            forward=WorkProfile(
+                flops=cls_flops, mem_bytes=cls_bytes, utilization=0.5
+            ),
+        )
+    )
+    return ModelSpec(
+        name=cfg.name,
+        layers=tuple(layers),
+        tail=None,
+        params=cfg.total_params,
+        microbatch_size=microbatch_size,
+        seq_len=0,
+        extra={"config": cfg},
+    )

@@ -1,0 +1,59 @@
+"""Stage-imbalance metrics (§2.2, Appendix B).
+
+The paper quantifies pipeline imbalance as the ratio of the longest stage's
+forward latency to the shortest's (1.00 = perfect balance).  Only forward
+latency is considered because backward latency is proportional to it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..exceptions import PartitionError
+
+
+def validate_partition(boundaries: Sequence[int], num_layers: int, num_stages: int) -> None:
+    """Check a partition boundary list ``[0, ..., num_layers]``.
+
+    A partition of L layers into N stages is a strictly increasing list of
+    N+1 layer indices starting at 0 and ending at L (Appendix B's notation,
+    e.g. ``[0, 6, 12, 19, 25]``).
+    """
+    if len(boundaries) != num_stages + 1:
+        raise PartitionError(
+            f"expected {num_stages + 1} boundaries, got {len(boundaries)}"
+        )
+    if boundaries[0] != 0 or boundaries[-1] != num_layers:
+        raise PartitionError("partition must span [0, num_layers]")
+    for a, b in zip(boundaries, boundaries[1:]):
+        if b <= a:
+            raise PartitionError("each stage must contain at least one layer")
+
+
+def stage_latencies(
+    layer_latencies: Sequence[float],
+    boundaries: Sequence[int],
+    tail_latency: float = 0.0,
+) -> List[float]:
+    """Per-stage forward latencies for a partition.
+
+    ``tail_latency`` (the pinned LM head) is added to the last stage.
+    """
+    validate_partition(boundaries, len(layer_latencies), len(boundaries) - 1)
+    stages = []
+    for i, (a, b) in enumerate(zip(boundaries, boundaries[1:])):
+        total = sum(layer_latencies[a:b])
+        if i == len(boundaries) - 2:
+            total += tail_latency
+        stages.append(total)
+    return stages
+
+
+def imbalance_ratio(stage_latency_list: Sequence[float]) -> float:
+    """Longest-to-shortest stage forward latency ratio (1.00 = balanced)."""
+    if not stage_latency_list:
+        raise PartitionError("no stages")
+    shortest = min(stage_latency_list)
+    if shortest <= 0:
+        raise PartitionError("stage latencies must be positive")
+    return max(stage_latency_list) / shortest

@@ -1,0 +1,113 @@
+"""Continuous relaxation: exponential time-energy fit (§4.1, Appendix D).
+
+The discrete PEM problem is NP-hard, so Perseus relaxes each computation's
+Pareto-optimal (time, energy) measurements to a continuous function
+``e(t) = a * exp(b * t) + c`` with ``a > 0, b < 0`` -- decreasing and
+convex, capturing the diminishing return of slowing down.
+
+The fit is linear in ``(a, c)`` for fixed ``b``, so we solve a 1-D search
+over ``b`` with closed-form least squares inside -- no SciPy dependency,
+deterministic, and robust to the 2-3 point profiles constant-ish ops give.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import FitError
+from .measurement import Measurement
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """``e(t) = a * exp(b * t) + c`` plus the fitted domain bounds."""
+
+    a: float
+    b: float
+    c: float
+    t_min: float  # fastest profiled duration
+    t_max: float  # duration at the min-energy frequency
+
+    def __call__(self, t: float) -> float:
+        return self.a * math.exp(self.b * t) + self.c
+
+    def derivative(self, t: float) -> float:
+        """Marginal energy per second of slowdown (negative)."""
+        return self.a * self.b * math.exp(self.b * t)
+
+    def speedup_cost(self, t: float, tau: float) -> float:
+        """Extra energy to run in ``t - tau`` instead of ``t`` (``e+``)."""
+        return self(t - tau) - self(t)
+
+    def slowdown_gain(self, t: float, tau: float) -> float:
+        """Energy saved by running in ``t + tau`` instead of ``t`` (``e-``)."""
+        return self(t) - self(t + tau)
+
+
+def _lstsq_for_b(
+    times: np.ndarray, energies: np.ndarray, b: float
+) -> Tuple[float, float, float]:
+    """Closed-form (a, c) and residual for a fixed exponent ``b``."""
+    basis = np.exp(b * times)
+    design = np.stack([basis, np.ones_like(basis)], axis=1)
+    coef, _, _, _ = np.linalg.lstsq(design, energies, rcond=None)
+    a, c = float(coef[0]), float(coef[1])
+    resid = float(np.sum((design @ coef - energies) ** 2))
+    return a, c, resid
+
+
+def fit_exponential(measurements: Sequence[Measurement]) -> ExponentialFit:
+    """Fit ``a * exp(b * t) + c`` to Pareto-optimal measurements.
+
+    Requires at least two points.  With exactly two, the fit becomes an
+    exact interpolation with a mild default curvature.
+    """
+    if len(measurements) < 2:
+        raise FitError("need at least two Pareto points to fit")
+    pts = sorted(measurements, key=lambda m: m.time_s)
+    times = np.array([m.time_s for m in pts], dtype=float)
+    energies = np.array([m.energy_j for m in pts], dtype=float)
+    t_lo, t_hi = float(times[0]), float(times[-1])
+    if t_hi <= t_lo:
+        raise FitError("degenerate time range in measurements")
+
+    # Scale-aware sweep: b ~ -k / time_range for k in a wide log grid.
+    span = t_hi - t_lo
+    best: Tuple[float, float, float, float] = None  # (resid, a, b, c)
+    for k in np.geomspace(0.05, 50.0, 120):
+        b = -k / span
+        a, c, resid = _lstsq_for_b(times, energies, b)
+        if a <= 0:
+            continue  # must be decreasing in t
+        if best is None or resid < best[0]:
+            best = (resid, a, b, c)
+    if best is None:
+        raise FitError("no decreasing exponential fits the measurements")
+    _, a, b, c = best
+    return ExponentialFit(a=a, b=b, c=c, t_min=t_lo, t_max=t_hi)
+
+
+def fit_quality(fit: ExponentialFit, measurements: Sequence[Measurement]) -> float:
+    """R^2 of the fit over the given measurements (1.0 = perfect)."""
+    energies = np.array([m.energy_j for m in measurements], dtype=float)
+    predicted = np.array([fit(m.time_s) for m in measurements], dtype=float)
+    ss_res = float(np.sum((energies - predicted) ** 2))
+    ss_tot = float(np.sum((energies - energies.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res < 1e-12 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def pareto_points_normalized(
+    measurements: Sequence[Measurement],
+) -> List[Tuple[float, float]]:
+    """(time, energy) normalized to the fastest point -- Figure 11's axes."""
+    if not measurements:
+        return []
+    fastest = min(measurements, key=lambda m: m.time_s)
+    base_e = max(m.energy_j for m in measurements)
+    return [(m.time_s / fastest.time_s, m.energy_j / base_e) for m in measurements]

@@ -1,0 +1,164 @@
+"""Pipeline computation profiling (§5 "Profiler").
+
+Profiles the forward and backward of every pipeline stage across the GPU's
+frequency ladder, sweeping from the highest clock downward and terminating
+once lower clocks become strictly suboptimal (more time *and* more energy)
+-- exactly the early-exit rule in §5.
+
+This module is the analytic fast path used by experiments; the in-vivo
+client-side profiler that drives a running training engine lives in
+:mod:`repro.runtime.client` and produces the same :class:`PipelineProfile`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ProfilingError
+from ..gpu.energy_model import ComputationEnergyModel, WorkProfile
+from ..gpu.specs import GPUSpec
+from ..partition.algorithms import PartitionResult
+from ..models.layers import ModelSpec
+from .measurement import Measurement, OpProfile, PipelineProfile
+
+
+def sweep_frequencies(
+    model: ComputationEnergyModel,
+    work: WorkProfile,
+    freq_stride: int = 1,
+    noise: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    confirm_steps: int = 3,
+) -> list:
+    """Measure (time, energy) from the highest clock down, stopping early.
+
+    Stops after ``confirm_steps`` consecutive measurements whose energy
+    exceeds the minimum seen so far: below the min-energy clock every lower
+    clock is strictly suboptimal (§5).
+    """
+    if noise < 0:
+        raise ProfilingError("noise must be non-negative")
+    if noise > 0 and rng is None:
+        rng = np.random.default_rng(0)
+    table = model.spec.freq if freq_stride == 1 else model.spec.freq.subsample(freq_stride)
+    measurements = []
+    min_energy = float("inf")
+    worse_streak = 0
+    for freq in table.descending():
+        t, e = model.time_energy(work, freq)
+        if noise > 0:
+            t *= float(1.0 + noise * rng.standard_normal())
+            e *= float(1.0 + noise * rng.standard_normal())
+            t = max(t, 1e-9)
+            e = max(e, 1e-9)
+        measurements.append(Measurement(freq_mhz=freq, time_s=t, energy_j=e))
+        if e < min_energy:
+            min_energy = e
+            worse_streak = 0
+        else:
+            worse_streak += 1
+            if worse_streak >= confirm_steps:
+                break
+    return measurements
+
+
+def stage_works(
+    model_spec: ModelSpec, partition: PartitionResult
+) -> list:
+    """Per-stage (forward_work, backward_work) under a partition."""
+    works = []
+    bounds = partition.boundaries
+    for s in range(partition.num_stages):
+        last = s == partition.num_stages - 1
+        fwd = model_spec.stage_forward_work(bounds[s], bounds[s + 1], last)
+        bwd = model_spec.stage_backward_work(bounds[s], bounds[s + 1], last)
+        works.append((fwd, bwd))
+    return works
+
+
+def profile_pipeline(
+    model_spec: ModelSpec,
+    partition: PartitionResult,
+    gpu: GPUSpec,
+    tensor_parallel: int = 1,
+    freq_stride: int = 1,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> PipelineProfile:
+    """Profile every stage's forward/backward over the frequency ladder.
+
+    With operator parallelism, one GPU per stage is profiled and the result
+    replicated (§4.4): we profile the per-GPU shard directly.
+
+    Args:
+        freq_stride: Subsample the frequency ladder (1 = full 15 MHz grid).
+        noise: Multiplicative Gaussian measurement noise (0 = exact).
+        seed: RNG seed for the noise.
+    """
+    if tensor_parallel > 1:
+        model_spec = model_spec.shard(tensor_parallel)
+    energy_model = ComputationEnergyModel(gpu)
+    rng = np.random.default_rng(seed)
+    profile = PipelineProfile(p_blocking_w=gpu.blocking_w)
+    for stage, (fwd, bwd) in enumerate(stage_works(model_spec, partition)):
+        for kind, work in (("forward", fwd), ("backward", bwd)):
+            op = (stage, kind)
+            op_profile = OpProfile(op=op)
+            for m in sweep_frequencies(
+                energy_model, work, freq_stride=freq_stride, noise=noise, rng=rng
+            ):
+                op_profile.add(m)
+            profile.ops[op] = op_profile
+    profile.validate()
+    return profile
+
+
+def profile_constant_op(
+    profile: PipelineProfile,
+    stage: int,
+    label: str,
+    duration_s: float,
+    power_w: Optional[float] = None,
+) -> None:
+    """Register a constant-time operation (§4.4) into a profile.
+
+    The op gets a single (time, energy) choice; the planner will treat it
+    as a node with one frequency choice.
+    """
+    if duration_s <= 0:
+        raise ProfilingError("constant op duration must be positive")
+    power = profile.p_blocking_w if power_w is None else power_w
+    op = (stage, "const", label)
+    profile.add_measurement(
+        op,
+        Measurement(freq_mhz=0, time_s=duration_s, energy_j=power * duration_s),
+        fixed=True,
+    )
+    profile.ops[op].fixed = True
+
+
+def estimated_profiling_overhead_s(
+    profile: PipelineProfile, iterations_per_freq: int = 5
+) -> float:
+    """Wall-clock cost of the in-vivo sweep (§6.5 reports ~13 min on A100).
+
+    Each supported frequency is profiled for about ``iterations_per_freq``
+    iterations; an iteration's length is bounded by the slowest stage at
+    that frequency.
+    """
+    total = 0.0
+    freqs = sorted(
+        {m.freq_mhz for op in profile.ops.values() for m in op.measurements}
+    )
+    for f in freqs:
+        slowest = 0.0
+        for op in profile.ops.values():
+            if op.fixed:
+                continue
+            for m in op.measurements:
+                if m.freq_mhz == f:
+                    slowest = max(slowest, m.time_s)
+        total += iterations_per_freq * slowest * 2  # fwd+bwd across microbatches
+    return total

@@ -1,0 +1,23 @@
+"""Runtime: Perseus client/server (Table 2) + simulated training engine."""
+
+from .client import InVivoProfiler, PerseusClient
+from .controller import AsyncFrequencyController
+from .engine import (
+    IterationStats,
+    TrainingEngine,
+    TrainingSession,
+    profile_p_blocking,
+)
+from .server import PerseusServer, StragglerState
+
+__all__ = [
+    "AsyncFrequencyController",
+    "InVivoProfiler",
+    "IterationStats",
+    "PerseusClient",
+    "PerseusServer",
+    "StragglerState",
+    "TrainingEngine",
+    "TrainingSession",
+    "profile_p_blocking",
+]

@@ -1,0 +1,77 @@
+"""Asynchronous frequency controller (§5).
+
+The client-side controller issues SM-clock locks through (simulated) NVML
+without blocking the training loop.  NVML clock locks take ~10 ms to
+apply, so the client *prefetches*: when instruction ``k`` starts, it
+requests the clock planned for instruction ``k+1``; by the time that
+instruction begins, the lock has applied (large-model computations run for
+tens to hundreds of milliseconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..exceptions import ClientError
+from ..gpu.nvml import SimDevice
+
+
+@dataclass
+class AsyncFrequencyController:
+    """Non-blocking clock control for one device.
+
+    ``plan`` is the device's iteration-local clock sequence: one frequency
+    per instruction, in execution order.  ``set_speed`` advances a cursor
+    and requests the *next* instruction's clock (prefetch), so requests
+    overlap with the current computation.
+    """
+
+    device: SimDevice
+    plan: List[int] = field(default_factory=list)
+    _cursor: int = 0
+    requests_issued: int = 0
+
+    def load_plan(self, frequencies: List[int], now: float) -> None:
+        """Install a new per-instruction clock sequence (schedule deploy).
+
+        Immediately requests the first instruction's clock so it is active
+        when the next iteration begins.
+        """
+        if not frequencies:
+            raise ClientError("cannot load an empty frequency plan")
+        self.plan = list(frequencies)
+        self._cursor = 0
+        self.device.lock_sm_clock(self.plan[0], now)
+        self.requests_issued += 1
+
+    def begin_iteration(self, now: float) -> None:
+        """Reset the cursor; re-arm the first instruction's clock."""
+        self._cursor = 0
+        if self.plan:
+            self.device.lock_sm_clock(self.plan[0], now)
+            self.requests_issued += 1
+
+    def set_speed(self, now: float) -> Optional[int]:
+        """Called at the start of each instruction (Table 2 ``set_speed``).
+
+        Prefetches the clock for the *next* instruction and returns it
+        (None at the end of the iteration).  The current instruction runs
+        at whatever clock is already applied.
+        """
+        if not self.plan:
+            return None
+        nxt = self._cursor + 1
+        self._cursor = nxt
+        if nxt < len(self.plan):
+            self.device.lock_sm_clock(self.plan[nxt], now)
+            self.requests_issued += 1
+            return self.plan[nxt]
+        return None
+
+    def current_planned(self) -> Tuple[int, int]:
+        """(cursor, planned clock at cursor) for introspection."""
+        if not self.plan:
+            raise ClientError("no plan loaded")
+        idx = min(self._cursor, len(self.plan) - 1)
+        return idx, self.plan[idx]

@@ -1,0 +1,182 @@
+"""Perseus server (§3.2, §5): cluster-wide singleton planner.
+
+The server owns, per training job: the computation DAG, the merged profile
+from all stage clients, the (asynchronously characterized) time-energy
+frontier, and the current straggler state.  Clients talk to it through
+plain method calls standing in for the paper's HTTP/RPC surface; the
+infrastructure notifies stragglers via ``set_straggler`` (Table 2).
+
+Frontier characterization runs on a background thread so training
+continues at maximum clocks while the optimizer works (§3.2 step 2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.frontier import DEFAULT_TAU, Frontier, characterize_frontier
+from ..core.schedule import EnergySchedule
+from ..core.unified import energy_optimal_iteration_time
+from ..exceptions import ServerError
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+
+#: Callback fired when a job gets a new schedule: (job_id, stage ->
+#: per-instruction frequency list).
+DeployCallback = Callable[[str, Dict[int, List[int]]], None]
+
+
+@dataclass
+class StragglerState:
+    """Latest infrastructure notification for one accelerator."""
+
+    accelerator_id: int
+    delay_s: float
+    degree: float  # 1.0 = back to normal
+
+
+@dataclass
+class _Job:
+    job_id: str
+    dag: ComputationDag
+    tau: float
+    profile: Optional[PipelineProfile] = None
+    frontier: Optional[Frontier] = None
+    characterizing: bool = False
+    straggler: Optional[StragglerState] = None
+    error: Optional[BaseException] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class PerseusServer:
+    """Framework- and accelerator-agnostic planning service."""
+
+    def __init__(self, deploy_callback: Optional[DeployCallback] = None):
+        self._jobs: Dict[str, _Job] = {}
+        self._deploy = deploy_callback
+
+    # -- job lifecycle -------------------------------------------------------
+    def register_job(
+        self, job_id: str, dag: ComputationDag, tau: float = DEFAULT_TAU
+    ) -> None:
+        """Register a training job, specified by its computation DAG."""
+        if job_id in self._jobs:
+            raise ServerError(f"job {job_id!r} already registered")
+        self._jobs[job_id] = _Job(job_id=job_id, dag=dag, tau=tau)
+
+    def submit_profile(
+        self, job_id: str, profile: PipelineProfile, blocking: bool = False
+    ) -> None:
+        """Receive profiling results; kick off frontier characterization.
+
+        ``blocking=True`` characterizes synchronously (tests, experiments);
+        otherwise a daemon thread does the work while training continues.
+        """
+        job = self._job(job_id)
+        with job.lock:
+            if job.characterizing:
+                raise ServerError(f"job {job_id!r} is already being characterized")
+            job.profile = profile
+            job.characterizing = True
+        if blocking:
+            self._characterize(job)
+        else:
+            thread = threading.Thread(
+                target=self._characterize, args=(job,), daemon=True
+            )
+            thread.start()
+
+    def _characterize(self, job: _Job) -> None:
+        try:
+            frontier = characterize_frontier(job.dag, job.profile, tau=job.tau)
+        except BaseException as exc:  # surfaced on next query
+            with job.lock:
+                job.error = exc
+                job.characterizing = False
+            return
+        with job.lock:
+            job.frontier = frontier
+            job.characterizing = False
+        self._push_schedule(job)
+
+    # -- queries ---------------------------------------------------------------
+    def is_ready(self, job_id: str) -> bool:
+        job = self._job(job_id)
+        with job.lock:
+            if job.error is not None:
+                raise ServerError(
+                    f"characterization failed for {job_id!r}"
+                ) from job.error
+            return job.frontier is not None
+
+    def wait_ready(self, job_id: str, timeout_s: float = 300.0) -> Frontier:
+        """Block until the frontier is available (test/experiment helper)."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.is_ready(job_id):
+                return self._job(job_id).frontier
+            time.sleep(0.005)
+        raise ServerError(f"timed out waiting for {job_id!r} characterization")
+
+    def frontier_of(self, job_id: str) -> Frontier:
+        job = self._job(job_id)
+        with job.lock:
+            if job.frontier is None:
+                raise ServerError(f"job {job_id!r} has no frontier yet")
+            return job.frontier
+
+    def current_schedule(self, job_id: str) -> EnergySchedule:
+        """The schedule for the current straggler state (instant lookup)."""
+        job = self._job(job_id)
+        frontier = self.frontier_of(job_id)
+        with job.lock:
+            t_prime = None
+            if job.straggler is not None and job.straggler.degree > 1.0:
+                t_prime = job.straggler.degree * frontier.t_min
+        t_opt = energy_optimal_iteration_time(frontier, t_prime)
+        return frontier.schedule_for(t_opt)
+
+    # -- straggler notification (Table 2) ---------------------------------------
+    def set_straggler(
+        self, job_id: str, accelerator_id: int, delay_s: float, degree: float
+    ) -> None:
+        """Infrastructure notifies an anticipated straggler (Table 2).
+
+        ``degree`` is the anticipated slowdown factor (1.0 = back to
+        normal).  The server looks up the ``T_opt = min(T*, T')`` schedule
+        and deploys it to clients.
+        """
+        if degree < 1.0:
+            raise ServerError("straggler degree must be >= 1.0")
+        if delay_s < 0:
+            raise ServerError("delay must be non-negative")
+        job = self._job(job_id)
+        with job.lock:
+            job.straggler = StragglerState(accelerator_id, delay_s, degree)
+        if job.frontier is not None:
+            self._push_schedule(job)
+
+    # -- internals ---------------------------------------------------------------
+    def _push_schedule(self, job: _Job) -> None:
+        if self._deploy is None:
+            return
+        schedule = self.current_schedule(job.job_id)
+        per_stage: Dict[int, List[int]] = {}
+        # Node ids are allocated in per-stage instruction order (the order
+        # the engine executes), so insertion order is the plan order.
+        for node, ins in job.dag.nodes.items():
+            per_stage.setdefault(ins.stage, []).append(node)
+        plans = {
+            stage: [schedule.frequencies[n] for n in nodes]
+            for stage, nodes in per_stage.items()
+        }
+        self._deploy(job.job_id, plans)
+
+    def _job(self, job_id: str) -> _Job:
+        if job_id not in self._jobs:
+            raise ServerError(f"unknown job {job_id!r}")
+        return self._jobs[job_id]

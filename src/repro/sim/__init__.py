@@ -1,0 +1,33 @@
+"""Execution simulation: realized timelines, energy accounting, stragglers."""
+
+from .datapar import (
+    DataParallelResult,
+    run_with_straggler,
+    straggle_durations,
+    synchronize,
+)
+from .executor import (
+    NodeExecution,
+    PipelineExecution,
+    execute,
+    execute_frequency_plan,
+    max_frequency_plan,
+    min_energy_plan,
+)
+from .timeline import StageTimeline, TimelineSegment, extract_timeline
+
+__all__ = [
+    "DataParallelResult",
+    "NodeExecution",
+    "PipelineExecution",
+    "StageTimeline",
+    "TimelineSegment",
+    "execute",
+    "execute_frequency_plan",
+    "extract_timeline",
+    "max_frequency_plan",
+    "min_energy_plan",
+    "run_with_straggler",
+    "straggle_durations",
+    "synchronize",
+]

@@ -1,0 +1,104 @@
+"""Data-parallel multi-pipeline simulation with stragglers (§2.3).
+
+Replicated pipelines must synchronize gradients at the end of every
+iteration, so the slowest (straggler) pipeline gates everyone: each
+non-straggler burns ``P_blocking`` on every GPU until the straggler
+finishes.  This module aggregates per-pipeline executions into the
+job-level iteration time and energy, and provides the straggler-injection
+used throughout §6.2.2 / §6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import SimulationError
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+from .executor import PipelineExecution, execute, execute_frequency_plan
+
+
+@dataclass
+class DataParallelResult:
+    """Job-level outcome of one synchronous data-parallel iteration."""
+
+    executions: List[PipelineExecution]
+    sync_time: float
+
+    @property
+    def num_pipelines(self) -> int:
+        return len(self.executions)
+
+    def total_energy(self) -> float:
+        """Sum of all pipelines' Eq.-3 energy up to gradient sync."""
+        return sum(e.total_energy(sync_time=self.sync_time) for e in self.executions)
+
+    def pipeline_energy(self, index: int) -> float:
+        return self.executions[index].total_energy(sync_time=self.sync_time)
+
+    def total_gpus(self) -> int:
+        return sum(e.num_devices() for e in self.executions)
+
+    def average_power(self) -> float:
+        return self.total_energy() / (self.total_gpus() * self.sync_time)
+
+
+def synchronize(executions: List[PipelineExecution]) -> DataParallelResult:
+    """Combine pipeline executions; sync happens when the slowest finishes."""
+    if not executions:
+        raise SimulationError("need at least one pipeline")
+    sync = max(e.iteration_time for e in executions)
+    return DataParallelResult(executions=executions, sync_time=sync)
+
+
+def straggle_durations(
+    durations: Dict[int, float], slowdown: float
+) -> Dict[int, float]:
+    """Uniformly slow a pipeline's computations by ``slowdown`` (>= 1).
+
+    Models compute-side stragglers (thermal/power throttling): every kernel
+    stretches by the throttle factor.
+    """
+    if slowdown < 1.0:
+        raise SimulationError("a straggler cannot be faster than normal")
+    return {n: d * slowdown for n, d in durations.items()}
+
+
+def run_with_straggler(
+    dag: ComputationDag,
+    profile: PipelineProfile,
+    non_straggler_plan: Dict[int, int],
+    straggler_plan: Optional[Dict[int, int]],
+    num_pipelines: int,
+    straggler_slowdown: float,
+    straggler_power_scale: float = 1.0,
+) -> DataParallelResult:
+    """Simulate ``num_pipelines`` replicas where pipeline 0 straggles.
+
+    The straggler runs ``straggler_plan`` (defaults to the non-straggler
+    plan) with every computation stretched by ``straggler_slowdown``; a
+    throttled GPU also draws proportionally less power, controlled by
+    ``straggler_power_scale`` (1.0 keeps energy-per-computation constant:
+    power falls as 1/slowdown).
+    """
+    if num_pipelines <= 0:
+        raise SimulationError("need at least one pipeline")
+    if straggler_plan is None:
+        straggler_plan = non_straggler_plan
+
+    normal = execute_frequency_plan(dag, non_straggler_plan, profile)
+
+    base = execute_frequency_plan(dag, straggler_plan, profile)
+    slowed = {r.node: r.duration * straggler_slowdown for r in base.records}
+    powers = {
+        r.node: r.power_w * straggler_power_scale / straggler_slowdown
+        for r in base.records
+    }
+    straggler = execute(
+        dag, slowed, powers, profile.p_blocking_w,
+        freqs={r.node: r.freq_mhz for r in base.records},
+    )
+
+    executions = [straggler] + [normal] * (num_pipelines - 1)
+    return synchronize(executions)

@@ -1,0 +1,15 @@
+"""Straggler models: thermal throttling, I/O stalls, heterogeneous pipelines."""
+
+from .injection import (
+    HeterogeneousPipeline,
+    IOBottleneck,
+    ThermalThrottle,
+    anticipated_t_prime,
+)
+
+__all__ = [
+    "HeterogeneousPipeline",
+    "IOBottleneck",
+    "ThermalThrottle",
+    "anticipated_t_prime",
+]

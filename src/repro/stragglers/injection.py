@@ -1,0 +1,97 @@
+"""Straggler models (§2.3).
+
+The paper targets stragglers that are *known to and anticipated by* the
+training infrastructure: power/thermal throttling (10-50% slowdown),
+storage/network I/O bottlenecks (up to 4x GPU compute), and heterogeneous
+pipelines deployed by failure-resilient frameworks.  Each model here
+yields the anticipated slowdown degree the infrastructure would pass to
+``server.set_straggler`` and knows how to distort a pipeline's realized
+execution for simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class ThermalThrottle:
+    """Power/thermal capping: kernels stretch, board power drops.
+
+    Literature reports 10-50% slowdowns [47, 61, 62, 67, 93].
+    """
+
+    slowdown: float  # >= 1.0
+    power_scale: float = 1.0  # energy per computation stays ~constant
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise SimulationError("throttle slowdown must be >= 1.0")
+        if not 0.0 < self.power_scale <= 1.5:
+            raise SimulationError("implausible power scale")
+
+    @property
+    def degree(self) -> float:
+        """Anticipated iteration-time slowdown (what the infra reports)."""
+        return self.slowdown
+
+    def distort_durations(self, durations: Dict[int, float]) -> Dict[int, float]:
+        return {n: d * self.slowdown for n, d in durations.items()}
+
+    def distort_powers(self, powers: Dict[int, float]) -> Dict[int, float]:
+        return {n: p * self.power_scale / self.slowdown for n, p in powers.items()}
+
+
+@dataclass(frozen=True)
+class IOBottleneck:
+    """Persistent input-stall: each microbatch waits on storage/network.
+
+    Acts like a straggler pipeline whose iteration time is gated by data
+    arrival rather than compute [54, 83, 89]; compute kernels keep their
+    duration, but the iteration stretches by the stall factor.
+    """
+
+    stall_factor: float  # iteration time multiplier, >= 1.0
+
+    def __post_init__(self) -> None:
+        if self.stall_factor < 1.0:
+            raise SimulationError("stall factor must be >= 1.0")
+
+    @property
+    def degree(self) -> float:
+        return self.stall_factor
+
+    def stalled_iteration_time(self, base_iteration_time: float) -> float:
+        return base_iteration_time * self.stall_factor
+
+
+@dataclass(frozen=True)
+class HeterogeneousPipeline:
+    """Fault-tolerant frameworks deploy uneven pipelines [25, 37, 76].
+
+    A pipeline running on fewer or weaker devices is uniformly slower by
+    ``capacity_ratio`` (e.g., 7/8 of the GPUs -> ratio 8/7).
+    """
+
+    capacity_ratio: float  # >= 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_ratio < 1.0:
+            raise SimulationError("capacity ratio must be >= 1.0")
+
+    @property
+    def degree(self) -> float:
+        return self.capacity_ratio
+
+    def distort_durations(self, durations: Dict[int, float]) -> Dict[int, float]:
+        return {n: d * self.capacity_ratio for n, d in durations.items()}
+
+
+def anticipated_t_prime(degree: float, t_min: float) -> float:
+    """The straggler iteration time the infra reports: ``T' = degree * T``."""
+    if degree < 1.0:
+        raise SimulationError("slowdown degree must be >= 1.0")
+    return degree * t_min

@@ -1,0 +1,59 @@
+"""Shared fixtures: a small, fast experiment stack reused across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costmodel import build_cost_models
+from repro.core.optimizer import PerseusOptimizer
+from repro.gpu.specs import A40, A100_PCIE
+from repro.models.registry import build_model
+from repro.partition.algorithms import partition_model
+from repro.pipeline.dag import build_pipeline_dag
+from repro.pipeline.schedules import schedule_1f1b
+from repro.profiler.online import profile_pipeline
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return A100_PCIE
+
+
+@pytest.fixture(scope="session")
+def a40():
+    return A40
+
+
+@pytest.fixture(scope="session")
+def small_model():
+    """GPT-3 1.3B at microbatch 4 -- the paper's A100 headline workload."""
+    return build_model("gpt3-xl", 4)
+
+
+@pytest.fixture(scope="session")
+def small_partition(small_model, a100):
+    return partition_model(small_model, 4, a100)
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_model, small_partition, a100):
+    """Coarse (every 8th clock) but complete pipeline profile."""
+    return profile_pipeline(small_model, small_partition, a100, freq_stride=8)
+
+
+@pytest.fixture(scope="session")
+def small_dag():
+    """1F1B, 4 stages, 6 microbatches -- Figure 1's configuration."""
+    return build_pipeline_dag(schedule_1f1b(4, 6))
+
+
+@pytest.fixture(scope="session")
+def small_cost_models(small_profile):
+    return build_cost_models(small_profile)
+
+
+@pytest.fixture(scope="session")
+def small_optimizer(small_dag, small_profile):
+    opt = PerseusOptimizer(dag=small_dag, profile=small_profile, tau=0.01)
+    opt.frontier  # materialize once for the whole session
+    return opt

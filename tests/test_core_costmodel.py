@@ -1,0 +1,100 @@
+"""Continuous cost models: fits, effective energy, feasible ranges."""
+
+import pytest
+
+from repro.core.costmodel import build_cost_model, build_cost_models
+from repro.exceptions import ProfilingError
+from repro.profiler.measurement import Measurement, OpProfile
+
+
+def make_profile(points, fixed=False):
+    op = OpProfile(op=(0, "forward"), fixed=fixed)
+    for freq, t, e in points:
+        op.add(Measurement(freq_mhz=freq, time_s=t, energy_j=e))
+    return op
+
+
+class TestBuild:
+    def test_bounds_from_pareto(self, small_cost_models):
+        for cm in small_cost_models.values():
+            assert cm.t_min < cm.t_max
+            pareto = cm.profile.pareto()
+            assert cm.t_min == pytest.approx(pareto[0].time_s)
+            assert cm.t_max == pytest.approx(pareto[-1].time_s)
+
+    def test_t_max_is_min_raw_energy_time(self, small_cost_models):
+        """T* durations come from the min-energy clock (§3.1)."""
+        for cm in small_cost_models.values():
+            min_e = cm.profile.min_energy
+            assert cm.t_max == pytest.approx(min_e.time_s)
+
+    def test_energy_interpolates_measurements(self, small_cost_models):
+        for cm in small_cost_models.values():
+            for meas in cm.profile.pareto():
+                assert cm.energy(meas.time_s) == pytest.approx(
+                    meas.energy_j, rel=0.05
+                )
+
+    def test_fixed_single_choice(self):
+        op = make_profile([(0, 0.5, 10.0)], fixed=True)
+        cm = build_cost_model(op, p_blocking_w=50.0)
+        assert cm.fixed
+        assert cm.t_min == cm.t_max == 0.5
+        assert cm.energy(0.3) == 10.0  # time argument is irrelevant
+        assert not cm.can_speed_up(0.5, 0.1)
+        assert not cm.can_slow_down(0.5, 0.1)
+
+    def test_single_pareto_point_treated_as_fixed(self):
+        # two measurements, but one dominates the other entirely
+        op = make_profile([(2, 1.0, 5.0), (1, 2.0, 6.0)])
+        cm = build_cost_model(op, p_blocking_w=50.0)
+        assert cm.fixed
+
+    def test_fixed_with_multiple_measurements_rejected(self):
+        op = make_profile([(0, 0.5, 10.0), (1, 0.6, 9.0)], fixed=True)
+        with pytest.raises(ProfilingError):
+            build_cost_model(op, p_blocking_w=50.0)
+
+
+class TestEffectiveEnergy:
+    def test_eta_subtracts_blocking(self, small_cost_models, small_profile):
+        cm = next(iter(small_cost_models.values()))
+        t = (cm.t_min + cm.t_max) / 2
+        assert cm.eta(t) == pytest.approx(
+            cm.energy(t) - small_profile.p_blocking_w * t
+        )
+
+    def test_eta_decreases_with_slowdown(self, small_cost_models):
+        """Within the Pareto range, slowing always reduces eta (Eq. 4)."""
+        for cm in small_cost_models.values():
+            ts = [cm.t_min + (cm.t_max - cm.t_min) * k / 10 for k in range(11)]
+            etas = [cm.eta(t) for t in ts]
+            assert all(a >= b - 1e-9 for a, b in zip(etas, etas[1:]))
+
+    def test_speedup_cost_dominates_slowdown_gain(self, small_cost_models):
+        """Convexity: e+ >= e- at any interior point."""
+        for cm in small_cost_models.values():
+            t = (cm.t_min + cm.t_max) / 2
+            tau = (cm.t_max - cm.t_min) / 10
+            assert cm.speedup_cost(t, tau) >= cm.slowdown_gain(t, tau) - 1e-9
+
+    def test_costs_are_positive(self, small_cost_models):
+        for cm in small_cost_models.values():
+            t = (cm.t_min + cm.t_max) / 2
+            tau = (cm.t_max - cm.t_min) / 8
+            assert cm.speedup_cost(t, tau) > 0
+            assert cm.slowdown_gain(t, tau) > 0
+
+
+class TestRanges:
+    def test_partial_steps_allowed(self, small_cost_models):
+        cm = next(iter(small_cost_models.values()))
+        tau = cm.t_max - cm.t_min  # a full step overshoots
+        assert cm.can_speed_up(cm.t_min + 1e-6, tau)
+        assert not cm.can_speed_up(cm.t_min, tau)
+        assert cm.can_slow_down(cm.t_max - 1e-6, tau)
+        assert not cm.can_slow_down(cm.t_max, tau)
+
+    def test_build_all_from_pipeline(self, small_profile):
+        models = build_cost_models(small_profile)
+        assert set(models) == set(small_profile.op_keys())

@@ -1,0 +1,110 @@
+"""Unified straggler prescription: T_opt = min(T*, T') and Figure 3 cases."""
+
+import pytest
+
+from repro.core.schedule import make_schedule, realize_frequencies
+from repro.core.costmodel import build_cost_models
+from repro.core.unified import (
+    classify_straggler,
+    energy_optimal_iteration_time,
+    select_schedule,
+)
+from repro.exceptions import OptimizationError, ScheduleError
+
+
+class TestEquationTwo:
+    def test_no_straggler_selects_t_min(self, small_optimizer):
+        frontier = small_optimizer.frontier
+        assert energy_optimal_iteration_time(frontier, None) == frontier.t_min
+        assert select_schedule(frontier, None) is frontier.points[0]
+
+    def test_moderate_straggler_uses_slack(self, small_optimizer):
+        """Figure 3b: T_min < T' <= T* -> run at T'."""
+        frontier = small_optimizer.frontier
+        t_prime = (frontier.t_min + frontier.t_star) / 2
+        assert energy_optimal_iteration_time(frontier, t_prime) == pytest.approx(
+            t_prime
+        )
+        sched = select_schedule(frontier, t_prime)
+        assert frontier.t_min < sched.iteration_time <= t_prime + 1e-9
+
+    def test_extreme_straggler_capped_at_t_star(self, small_optimizer):
+        """Figure 3c: T' > T* -> never slow past the min-energy point."""
+        frontier = small_optimizer.frontier
+        t_prime = frontier.t_star * 2
+        assert energy_optimal_iteration_time(frontier, t_prime) == pytest.approx(
+            frontier.t_star
+        )
+        assert select_schedule(frontier, t_prime) is frontier.points[-1]
+
+    def test_faster_than_t_min_floored(self, small_optimizer):
+        frontier = small_optimizer.frontier
+        assert energy_optimal_iteration_time(
+            frontier, frontier.t_min / 2
+        ) == pytest.approx(frontier.t_min)
+
+    def test_rejects_nonpositive(self, small_optimizer):
+        with pytest.raises(OptimizationError):
+            energy_optimal_iteration_time(small_optimizer.frontier, -1.0)
+
+    def test_deeper_straggler_never_costs_more(self, small_optimizer):
+        """Energy at T_opt is non-increasing in T' (frontier monotone)."""
+        frontier = small_optimizer.frontier
+        prev = float("inf")
+        for factor in (1.0, 1.05, 1.1, 1.2, 1.3, 1.5, 2.0):
+            sched = select_schedule(frontier, frontier.t_min * factor)
+            assert sched.effective_energy <= prev + 1e-9
+            prev = sched.effective_energy
+
+
+class TestClassification:
+    def test_three_cases(self, small_optimizer):
+        frontier = small_optimizer.frontier
+        assert classify_straggler(frontier, None).name == "no-straggler"
+        mid = (frontier.t_min + frontier.t_star) / 2
+        assert classify_straggler(frontier, mid).name == "moderate-straggler"
+        assert (
+            classify_straggler(frontier, frontier.t_star * 1.5).name
+            == "extreme-straggler"
+        )
+
+
+class TestScheduleArtifacts:
+    def test_realized_frequencies_never_slower_than_plan(
+        self, small_dag, small_profile
+    ):
+        """Algorithm 2 line 8: realized time <= planned time, per node."""
+        cms = build_cost_models(small_profile)
+        mid = {
+            n: (cms[small_dag.nodes[n].op_key].t_min
+                + cms[small_dag.nodes[n].op_key].t_max) / 2
+            for n in small_dag.nodes
+        }
+        freqs = realize_frequencies(small_dag, mid, cms)
+        for n, f in freqs.items():
+            op = small_profile.get(small_dag.nodes[n].op_key)
+            assert op.at_freq(f).time_s <= mid[n] + 1e-9
+
+    def test_total_energy_accounting(self, small_dag, small_profile):
+        """Eq. 3: waiting for a straggler adds P_blocking * N * (T' - T)."""
+        cms = build_cost_models(small_profile)
+        fastest = {n: cms[small_dag.nodes[n].op_key].t_min for n in small_dag.nodes}
+        sched = make_schedule(small_dag, fastest, cms)
+        t = sched.iteration_time
+        e_self = sched.total_energy(4, small_profile.p_blocking_w)
+        e_wait = sched.total_energy(4, small_profile.p_blocking_w, sync_time=t * 1.2)
+        assert e_wait - e_self == pytest.approx(
+            small_profile.p_blocking_w * 4 * 0.2 * t, rel=1e-6
+        )
+
+    def test_sync_before_end_rejected(self, small_dag, small_profile):
+        cms = build_cost_models(small_profile)
+        fastest = {n: cms[small_dag.nodes[n].op_key].t_min for n in small_dag.nodes}
+        sched = make_schedule(small_dag, fastest, cms)
+        with pytest.raises(ScheduleError):
+            sched.total_energy(4, 95.0, sync_time=sched.iteration_time / 2)
+
+    def test_missing_duration_rejected(self, small_dag, small_profile):
+        cms = build_cost_models(small_profile)
+        with pytest.raises(ScheduleError):
+            make_schedule(small_dag, {0: 1.0}, cms)

@@ -1,0 +1,126 @@
+"""Generalizations (§4.4, §7): interleaved schedules, CPU/big-data DAGs.
+
+Perseus claims to optimize *any* workload expressible as a DAG of
+computations with per-computation time-energy choices.  These tests
+exercise that claim beyond 1F1B GPUs: interleaved 1F1B with virtual
+stages sharing devices, and a map-reduce style CPU DAG with DVFS P-states
+(the §7 "Big Data and Energy Consumption" application).
+"""
+
+import pytest
+
+from repro.core.costmodel import build_cost_models
+from repro.core.frontier import characterize_frontier
+from repro.gpu.specs import A100_PCIE
+from repro.models.registry import build_model
+from repro.partition.algorithms import partition_model
+from repro.pipeline.dag import ComputationDag, build_pipeline_dag
+from repro.pipeline.instructions import InstrKind, Instruction
+from repro.pipeline.schedules import schedule_interleaved_1f1b
+from repro.profiler.measurement import Measurement, PipelineProfile
+from repro.profiler.online import profile_pipeline
+
+
+class TestInterleaved1F1B:
+    def test_virtual_stages_share_devices(self):
+        """2 devices x 2 chunks = 4 virtual stages; device exclusivity
+        must hold across chunks."""
+        sched = schedule_interleaved_1f1b(2, 4, num_chunks=2)
+        device_of_stage = [s % 2 for s in range(4)]
+        dag = build_pipeline_dag(sched, device_of_stage=device_of_stage)
+        durations = {n: 1.0 for n in dag.nodes}
+        starts = dag.earliest_start_times(durations)
+        by_device = {}
+        for n, ins in dag.nodes.items():
+            by_device.setdefault(device_of_stage[ins.stage], []).append(
+                (starts[n], starts[n] + 1.0)
+            )
+        for windows in by_device.values():
+            windows.sort()
+            for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+                assert s2 >= e1 - 1e-9, "device ran two chunks at once"
+
+    def test_interleaved_frontier_characterizes(self):
+        model = build_model("gpt3-xl", 2)
+        # virtual stages = 4 model chunks, two per device
+        part = partition_model(model, 4, A100_PCIE)
+        profile = profile_pipeline(model, part, A100_PCIE, freq_stride=12)
+        sched = schedule_interleaved_1f1b(2, 4, num_chunks=2)
+        dag = build_pipeline_dag(sched, device_of_stage=[0, 1, 0, 1])
+        frontier = characterize_frontier(dag, profile, tau=0.01)
+        assert frontier.t_min < frontier.t_star
+        effs = [p.effective_energy for p in frontier.points]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+
+
+def _cpu_measurements(base_time, base_power, idle_w):
+    """Synthetic CPU DVFS ladder: P-states from 3.6 GHz down to 1.2 GHz."""
+    out = []
+    for mhz in range(3600, 1100, -300):
+        x = mhz / 3600
+        t = base_time * (0.3 + 0.7 / x)  # partially memory-bound
+        p = idle_w + (base_power - idle_w) * x**2.2
+        out.append(Measurement(freq_mhz=mhz, time_s=t, energy_j=p * t))
+    return out
+
+
+class TestBigDataCPU:
+    """§7: a DAG of CPU computations with per-task DVFS choices."""
+
+    @pytest.fixture(scope="class")
+    def mapreduce(self):
+        # 3 workers; each runs one map task, then an all-to-all shuffle
+        # barrier, then one reduce task.  Worker 1's map is the heavy one.
+        dag = ComputationDag(num_stages=3, num_microbatches=1)
+        maps, reduces = [], []
+        for w in range(3):
+            maps.append(dag.add_node(Instruction(w, 0, InstrKind.FORWARD)))
+        for w in range(3):
+            reduces.append(dag.add_node(Instruction(w, 0, InstrKind.BACKWARD)))
+        for m in maps:
+            for r in reduces:
+                dag.add_edge(m, r)  # shuffle: every reducer needs every map
+        dag.seal()
+
+        profile = PipelineProfile(p_blocking_w=18.0)  # idle CPU package
+        for w in range(3):
+            map_time = 2.0 if w == 1 else 1.2  # skewed mapper
+            for m in _cpu_measurements(map_time, 95.0, 20.0):
+                profile.add_measurement((w, "forward"), m)
+            for m in _cpu_measurements(0.8, 95.0, 20.0):
+                profile.add_measurement((w, "backward"), m)
+        return dag, profile
+
+    def test_frontier_on_cpu_dag(self, mapreduce):
+        dag, profile = mapreduce
+        frontier = characterize_frontier(dag, profile, tau=0.02)
+        assert len(frontier.points) > 5
+        assert frontier.t_min < frontier.t_star
+
+    def test_light_mappers_slowed_at_tmin(self, mapreduce):
+        """The skewed mapper pins the barrier; the others can crawl."""
+        dag, profile = mapreduce
+        frontier = characterize_frontier(dag, profile, tau=0.02)
+        cms = build_cost_models(profile)
+        tmin = frontier.min_time_schedule
+        heavy = [n for n, i in dag.nodes.items()
+                 if i.stage == 1 and i.kind is InstrKind.FORWARD][0]
+        light = [n for n, i in dag.nodes.items()
+                 if i.stage == 0 and i.kind is InstrKind.FORWARD][0]
+        heavy_frac = (tmin.durations[heavy] - cms[(1, "forward")].t_min) / (
+            cms[(1, "forward")].t_max - cms[(1, "forward")].t_min
+        )
+        light_frac = (tmin.durations[light] - cms[(0, "forward")].t_min) / (
+            cms[(0, "forward")].t_max - cms[(0, "forward")].t_min
+        )
+        assert heavy_frac < 0.05  # the straggling mapper runs flat out
+        assert light_frac > 0.5  # light mappers exploit the skew
+
+    def test_deadline_lookup(self, mapreduce):
+        """'Lowest frequency meeting the deadline' falls out of Eq. 2."""
+        dag, profile = mapreduce
+        frontier = characterize_frontier(dag, profile, tau=0.02)
+        deadline = frontier.t_min * 1.15
+        sched = frontier.schedule_for(deadline)
+        assert sched.iteration_time <= deadline + 1e-9
+        assert sched.effective_energy < frontier.points[0].effective_energy

@@ -1,0 +1,100 @@
+"""Max-flow with lower bounds (Algorithm 3): feasibility, cuts, repairs."""
+
+import pytest
+
+from repro.exceptions import GraphError, InfeasibleFlowError
+from repro.graph.lowerbounds import (
+    BoundedEdge,
+    max_flow_with_lower_bounds,
+)
+from repro.graph.maxflow import INF
+
+
+class TestFeasibility:
+    def test_plain_maxflow_when_no_lower_bounds(self):
+        edges = [BoundedEdge(0, 1, 0.0, 5.0), BoundedEdge(1, 2, 0.0, 3.0)]
+        res = max_flow_with_lower_bounds(3, edges, 0, 2)
+        assert res.max_flow == pytest.approx(3.0)
+
+    def test_lower_bound_forces_flow(self):
+        # chain with lb 2 on the first edge; both edges can carry it
+        edges = [BoundedEdge(0, 1, 2.0, 5.0), BoundedEdge(1, 2, 0.0, 5.0)]
+        res = max_flow_with_lower_bounds(3, edges, 0, 2)
+        assert res.flows[0] >= 2.0 - 1e-9
+
+    def test_infeasible_chain_detected(self):
+        # lb 5 cannot squeeze through downstream ub 2
+        edges = [BoundedEdge(0, 1, 5.0, 6.0), BoundedEdge(1, 2, 0.0, 2.0)]
+        with pytest.raises(InfeasibleFlowError) as err:
+            max_flow_with_lower_bounds(3, edges, 0, 2)
+        assert err.value.violating_set is not None
+
+    def test_flows_respect_bounds(self):
+        edges = [
+            BoundedEdge(0, 1, 1.0, 4.0),
+            BoundedEdge(0, 2, 0.0, 3.0),
+            BoundedEdge(1, 3, 0.0, 4.0),
+            BoundedEdge(2, 3, 1.0, 3.0),
+        ]
+        res = max_flow_with_lower_bounds(4, edges, 0, 3)
+        for e, f in zip(edges, res.flows):
+            assert e.lb - 1e-9 <= f <= e.ub + 1e-9
+
+    def test_conservation_at_internal_nodes(self):
+        edges = [
+            BoundedEdge(0, 1, 1.0, 5.0),
+            BoundedEdge(1, 2, 0.0, 2.0),
+            BoundedEdge(1, 3, 0.0, 5.0),
+            BoundedEdge(2, 3, 0.0, 5.0),
+        ]
+        res = max_flow_with_lower_bounds(4, edges, 0, 3)
+        for node in (1, 2):
+            inflow = sum(f for e, f in zip(edges, res.flows) if e.v == node)
+            outflow = sum(f for e, f in zip(edges, res.flows) if e.u == node)
+            assert inflow == pytest.approx(outflow, abs=1e-6)
+
+
+class TestMinCut:
+    def test_cut_value_with_lower_bound_credit(self):
+        """Cut capacity = sum(forward ub) - sum(backward lb)."""
+        # Diamond: cutting {0,2} crosses 0->1 (ub 2) fwd and 1->2 (lb 1) bwd.
+        edges = [
+            BoundedEdge(0, 1, 0.0, 2.0),
+            BoundedEdge(0, 2, 0.0, 4.0),
+            BoundedEdge(1, 2, 1.0, 3.0),
+            BoundedEdge(1, 3, 0.0, 4.0),
+            BoundedEdge(2, 3, 0.0, 4.0),
+        ]
+        res = max_flow_with_lower_bounds(4, edges, 0, 3)
+        fwd, bwd = res.cut_edges(edges)
+        cut_value = sum(edges[i].ub for i in fwd) - sum(edges[i].lb for i in bwd)
+        assert res.max_flow == pytest.approx(cut_value, abs=1e-6)
+
+    def test_source_side_contains_source(self):
+        edges = [BoundedEdge(0, 1, 0.0, 1.0)]
+        res = max_flow_with_lower_bounds(2, edges, 0, 1)
+        assert 0 in res.source_side
+        assert 1 not in res.source_side
+
+    def test_infinite_edges_never_cut_forward(self):
+        edges = [
+            BoundedEdge(0, 1, 0.0, INF),
+            BoundedEdge(1, 2, 0.0, 2.0),
+            BoundedEdge(2, 3, 0.0, INF),
+        ]
+        res = max_flow_with_lower_bounds(4, edges, 0, 3)
+        fwd, _ = res.cut_edges(edges)
+        assert fwd == [1]
+        assert res.max_flow == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_bad_source_sink(self):
+        with pytest.raises(GraphError):
+            max_flow_with_lower_bounds(2, [], 0, 0)
+
+    def test_bounds_sanity(self):
+        with pytest.raises(GraphError):
+            BoundedEdge(0, 1, 3.0, 1.0)
+        with pytest.raises(GraphError):
+            BoundedEdge(0, 1, -1.0, 1.0)

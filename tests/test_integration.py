@@ -1,0 +1,103 @@
+"""End-to-end integration: public API, cross-module consistency, viz."""
+
+import pytest
+
+import repro
+from repro.baselines import max_frequency_plan
+from repro.sim import execute_frequency_plan
+from repro.viz import power_summary, render_comparison, render_timeline
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return repro.plan_pipeline(
+        "gpt3-xl", gpu="a100", num_stages=4, num_microbatches=6,
+        freq_stride=16,
+    )
+
+
+class TestPublicAPI:
+    def test_plan_pipeline_returns_everything(self, plan):
+        assert plan.model.params > 1e9
+        assert plan.partition.num_stages == 4
+        assert plan.frontier.t_min < plan.frontier.t_star
+        assert plan.dag.num_microbatches == 6
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_planned_vs_realized_consistency(self, plan):
+        """Frontier points replay on the simulator within realization gap."""
+        for point in (plan.frontier.points[0], plan.frontier.points[-1]):
+            realized = execute_frequency_plan(
+                plan.dag, point.frequencies, plan.profile
+            )
+            # realized clocks are never slower than planned durations
+            assert realized.iteration_time <= point.iteration_time * 1.001
+
+    def test_headline_claim(self, plan):
+        """The abstract: energy savings with no throughput loss."""
+        base = execute_frequency_plan(
+            plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+        )
+        perseus = execute_frequency_plan(
+            plan.dag,
+            plan.optimizer.schedule_for_straggler(None).frequencies,
+            plan.profile,
+        )
+        assert perseus.iteration_time <= base.iteration_time * 1.001
+        savings = 1 - perseus.total_energy() / base.total_energy()
+        assert savings > 0.05
+        # and average power draw drops accordingly (§1)
+        assert perseus.average_power() < base.average_power()
+
+
+class TestVisualization:
+    def test_render_timeline(self, plan):
+        base = execute_frequency_plan(
+            plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+        )
+        out = render_timeline(base, width=80)
+        lines = out.splitlines()
+        assert len(lines) == 5  # header + 4 stages
+        assert all(line.startswith("S") for line in lines[1:])
+
+    def test_render_comparison_mentions_savings(self, plan):
+        base = execute_frequency_plan(
+            plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+        )
+        opt = execute_frequency_plan(
+            plan.dag,
+            plan.optimizer.schedule_for_straggler(None).frequencies,
+            plan.profile,
+        )
+        out = render_comparison(base, opt, width=60)
+        assert "% saved" in out
+
+    def test_power_summary(self, plan):
+        base = execute_frequency_plan(
+            plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
+        )
+        out = power_summary(base)
+        assert out.count("\n") == 3
+        assert "W" in out
+
+
+class TestCrossGPU:
+    @pytest.mark.parametrize("gpu", ["a100", "a40", "h100", "v100"])
+    def test_all_gpus_plan(self, gpu):
+        result = repro.plan_pipeline(
+            "bert-large", gpu=gpu, num_stages=2, num_microbatches=3,
+            freq_stride=24,
+        )
+        assert result.frontier.t_min < result.frontier.t_star
+        times = [p.iteration_time for p in result.frontier.points]
+        assert times == sorted(times)
+
+    def test_3d_parallelism(self):
+        """§4.4: TP shards profile one GPU per stage and replicate."""
+        result = repro.plan_pipeline(
+            "gpt3-6.7b", gpu="a40", num_stages=4, num_microbatches=4,
+            tensor_parallel=2, freq_stride=24,
+        )
+        assert result.frontier.t_min < result.frontier.t_star

@@ -1,0 +1,168 @@
+"""Model zoo: parameter counts, layer structure, work scaling, sharding."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.gpu.specs import A100_PCIE
+from repro.models.layers import LayerSpec, ModelSpec
+from repro.models.registry import build_model, get_entry, list_models
+from repro.models.transformer import TransformerConfig, build_transformer
+from repro.models.wideresnet import WideResNetConfig, build_wide_resnet
+from repro.gpu.energy_model import WorkProfile
+
+
+class TestParameterCounts:
+    """Zoo sizes must land near their published parameter counts."""
+
+    @pytest.mark.parametrize(
+        "name,expected_b",
+        [
+            ("gpt3-xl", 1.3), ("gpt3-2.7b", 2.7), ("gpt3-6.7b", 6.7),
+            ("gpt3-13b", 13.0), ("gpt3-175b", 175.0),
+            ("bloom-3b", 3.0), ("bloom-176b", 176.0),
+            ("bert-base", 0.11), ("bert-large", 0.33),
+            ("t5-3b", 2.9),
+            ("wide-resnet50", 0.8), ("wide-resnet101", 1.5),
+        ],
+    )
+    def test_param_count(self, name, expected_b):
+        model = build_model(name)
+        assert model.params / 1e9 == pytest.approx(expected_b, rel=0.25)
+
+
+class TestLayerStructure:
+    """Layer counts must match the partition tables of Appendix B."""
+
+    @pytest.mark.parametrize(
+        "name,layers",
+        [
+            ("gpt3-xl", 25), ("gpt3-2.7b", 33), ("gpt3-13b", 41),
+            ("gpt3-175b", 97), ("bloom-3b", 31), ("bloom-176b", 71),
+            ("bert-base", 13), ("bert-huge", 25),
+            ("t5-base", 25), ("t5-3b", 49),
+            ("wide-resnet50", 18), ("wide-resnet101", 35),
+        ],
+    )
+    def test_partitionable_layer_count(self, name, layers):
+        assert build_model(name).num_layers == layers
+
+    def test_transformer_has_pinned_lm_head(self):
+        model = build_model("gpt3-xl")
+        assert model.tail is not None
+        assert model.tail.kind == "lm_head"
+
+    def test_wide_resnet_has_no_tail(self):
+        model = build_model("wide-resnet101")
+        assert model.tail is None
+        kinds = {layer.kind for layer in model.layers}
+        assert kinds == {"stem", "bottleneck", "classifier"}
+
+    def test_t5_has_heavier_decoder_layers(self):
+        """Appendix B.1: cross attention makes decoder layers heavier."""
+        model = build_model("t5-3b")
+        enc = next(l for l in model.layers if l.name == "encoder.0")
+        dec = next(l for l in model.layers if l.name == "decoder.0")
+        assert dec.forward.flops > enc.forward.flops
+
+
+class TestWorkScaling:
+    def test_work_scales_linearly_with_microbatch(self):
+        m1 = build_model("gpt3-xl", 1)
+        m4 = build_model("gpt3-xl", 4)
+        f1 = m1.layers[5].forward.flops
+        f4 = m4.layers[5].forward.flops
+        assert f4 == pytest.approx(4 * f1)
+
+    def test_backward_multiplier_with_recompute(self):
+        cfg = TransformerConfig("t", 4, 256, 4, 1000, 128)
+        with_rc = build_transformer(cfg, 1, recompute_activations=True)
+        without = build_transformer(cfg, 1, recompute_activations=False)
+        layer_rc = with_rc.layers[1]
+        layer_no = without.layers[1]
+        assert layer_rc.backward.flops == pytest.approx(
+            1.5 * layer_no.backward.flops
+        )
+
+    def test_shard_divides_work(self):
+        model = build_model("gpt3-xl")
+        sharded = model.shard(4)
+        assert sharded.layers[3].forward.flops == pytest.approx(
+            model.layers[3].forward.flops / 4
+        )
+        assert sharded.tail.forward.flops == pytest.approx(
+            model.tail.forward.flops / 4
+        )
+
+    def test_shard_identity(self):
+        model = build_model("gpt3-xl")
+        assert model.shard(1) is model or model.shard(1).layers == model.layers
+
+
+class TestStageAggregation:
+    def test_stage_work_sums_layers(self):
+        model = build_model("gpt3-xl")
+        total = model.stage_forward_work(0, 3, last_stage=False)
+        manual = sum(l.forward.flops for l in model.layers[:3])
+        assert total.flops == pytest.approx(manual)
+
+    def test_last_stage_includes_tail(self):
+        model = build_model("gpt3-xl")
+        without = model.stage_forward_work(20, 25, last_stage=False)
+        with_tail = model.stage_forward_work(20, 25, last_stage=True)
+        assert with_tail.flops > without.flops
+
+    def test_layer_latencies_positive(self):
+        model = build_model("bloom-3b")
+        lats = model.layer_forward_latencies(A100_PCIE)
+        assert len(lats) == model.num_layers
+        assert all(t > 0 for t in lats)
+
+    def test_empty_stage_rejected(self):
+        model = build_model("gpt3-xl")
+        with pytest.raises(ConfigurationError):
+            model.stage_forward_work(3, 3, last_stage=False)
+
+
+class TestRegistry:
+    def test_list_models_nonempty(self):
+        assert len(list_models()) >= 16
+
+    def test_aliases(self):
+        assert get_entry("gpt3-1.3b").key == "gpt3-xl"
+        assert get_entry("wrn101").key == "wide-resnet101"
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigurationError):
+            build_model("llama-7b")
+
+    def test_bad_microbatch(self):
+        with pytest.raises(ConfigurationError):
+            build_model("gpt3-xl", 0)
+
+
+class TestWideResNet:
+    def test_depth_plan_lengths(self):
+        assert len(WideResNetConfig("w", 50).bottleneck_plan()) == 16
+        assert len(WideResNetConfig("w", 101).bottleneck_plan()) == 33
+
+    def test_rejects_unknown_depth(self):
+        with pytest.raises(ConfigurationError):
+            WideResNetConfig("w", 34)
+
+    def test_stage_resolution_decreases_flops_balance(self):
+        """Bottlenecks of different stages have comparable flops by design."""
+        model = build_wide_resnet(WideResNetConfig("w", 50, 8), 8)
+        flops = [l.forward.flops for l in model.layers if l.kind == "bottleneck"]
+        assert max(flops) / min(flops) < 6.0
+
+
+def test_model_spec_requires_layers():
+    with pytest.raises(ConfigurationError):
+        ModelSpec(name="empty", layers=())
+
+
+def test_layer_spec_shard():
+    layer = LayerSpec("l", "transformer", WorkProfile(1e9, 1e6))
+    assert layer.shard(2).forward.flops == pytest.approx(5e8)
+    with pytest.raises(ConfigurationError):
+        layer.shard(0)

@@ -1,0 +1,146 @@
+"""Computation DAG: dependency structure, longest paths, const ops."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.pipeline.dag import (
+    SINK,
+    SOURCE,
+    ComputationDag,
+    build_pipeline_dag,
+    durations_from_op_times,
+)
+from repro.pipeline.instructions import InstrKind, Instruction
+from repro.pipeline.schedules import schedule_1f1b, with_data_loading
+
+
+@pytest.fixture()
+def dag_2x3():
+    return build_pipeline_dag(schedule_1f1b(2, 3))
+
+
+def find(dag, stage, mb, kind):
+    for node, ins in dag.nodes.items():
+        if ins.stage == stage and ins.microbatch == mb and ins.kind is kind:
+            return node
+    raise AssertionError("node not found")
+
+
+class TestStructure:
+    def test_node_count(self, dag_2x3):
+        assert dag_2x3.num_computations == 2 * 3 * 2  # stages x mb x {F,B}
+
+    def test_forward_flows_downstream(self, dag_2x3):
+        f0 = find(dag_2x3, 0, 1, InstrKind.FORWARD)
+        f1 = find(dag_2x3, 1, 1, InstrKind.FORWARD)
+        assert f1 in dag_2x3.succ[f0]
+
+    def test_backward_flows_upstream(self, dag_2x3):
+        b1 = find(dag_2x3, 1, 2, InstrKind.BACKWARD)
+        b0 = find(dag_2x3, 0, 2, InstrKind.BACKWARD)
+        assert b0 in dag_2x3.succ[b1]
+
+    def test_last_stage_turnaround(self, dag_2x3):
+        f = find(dag_2x3, 1, 0, InstrKind.FORWARD)
+        b = find(dag_2x3, 1, 0, InstrKind.BACKWARD)
+        assert b in dag_2x3.succ[f]
+
+    def test_sequential_within_stage(self, dag_2x3):
+        """Each stage runs one instruction at a time, in schedule order."""
+        sched = schedule_1f1b(2, 3)
+        for s, order in enumerate(sched):
+            nodes = [find(dag_2x3, i.stage, i.microbatch, i.kind) for i in order]
+            for u, v in zip(nodes, nodes[1:]):
+                assert v in dag_2x3.succ[u]
+
+    def test_source_and_sink_connected(self, dag_2x3):
+        assert dag_2x3.succ[SOURCE]
+        assert dag_2x3.pred[SINK]
+
+    def test_topological_order_complete(self, dag_2x3):
+        order = dag_2x3.topological_order()
+        assert len(order) == dag_2x3.num_computations + 2
+        position = {n: i for i, n in enumerate(order)}
+        for u in dag_2x3.succ:
+            for v in dag_2x3.succ[u]:
+                assert position[u] < position[v]
+
+
+class TestIterationTime:
+    def test_uniform_durations_match_1f1b_formula(self):
+        """With all durations 1, 1F1B runs in (M + N - 1) * 2 fwd+bwd slots.
+
+        For uniform fwd=bwd=1: pipeline fill (N-1)*(fwd+bwd... classic
+        1F1B makespan = (N - 1 + M) * (t_f + t_b) with balanced stages.
+        """
+        for n, m in [(2, 3), (4, 6), (3, 5)]:
+            dag = build_pipeline_dag(schedule_1f1b(n, m))
+            durations = {node: 1.0 for node in dag.nodes}
+            assert dag.iteration_time(durations) == pytest.approx(
+                (n - 1 + m) * 2.0
+            )
+
+    def test_bottleneck_stage_dominates(self):
+        dag = build_pipeline_dag(schedule_1f1b(2, 4))
+        durations = {}
+        for node, ins in dag.nodes.items():
+            durations[node] = 5.0 if ins.stage == 1 else 1.0
+        t = dag.iteration_time(durations)
+        # the slow stage's 8 computations are the bulk of the critical path
+        assert t >= 8 * 5.0
+
+    def test_earliest_start_respects_deps(self, dag_2x3):
+        durations = {node: 1.0 for node in dag_2x3.nodes}
+        starts = dag_2x3.earliest_start_times(durations)
+        for u in dag_2x3.nodes:
+            for v in dag_2x3.succ[u]:
+                if v in dag_2x3.nodes:
+                    assert starts[v] >= starts[u] + 1.0 - 1e-12
+
+
+class TestConstOps:
+    def test_dataload_gates_forward(self):
+        dag = build_pipeline_dag(with_data_loading(schedule_1f1b(2, 2)))
+        loads = [n for n, i in dag.nodes.items() if i.kind is InstrKind.CONST]
+        assert len(loads) == 2
+        for n in loads:
+            ins = dag.nodes[n]
+            fwd = find(dag, 0, ins.microbatch, InstrKind.FORWARD)
+            assert fwd in dag.succ[n]
+
+    def test_const_ops_lengthen_iteration(self):
+        base = build_pipeline_dag(schedule_1f1b(2, 2))
+        with_load = build_pipeline_dag(with_data_loading(schedule_1f1b(2, 2)))
+        d1 = {n: 1.0 for n in base.nodes}
+        d2 = {n: 1.0 for n in with_load.nodes}
+        assert with_load.iteration_time(d2) > base.iteration_time(d1)
+
+
+class TestHelpers:
+    def test_durations_from_op_times(self, dag_2x3):
+        op_times = {(s, k): 1.0 + s for s in (0, 1) for k in ("forward", "backward")}
+        durations = durations_from_op_times(dag_2x3, op_times)
+        for node, ins in dag_2x3.nodes.items():
+            assert durations[node] == pytest.approx(1.0 + ins.stage)
+
+    def test_missing_op_time_raises(self, dag_2x3):
+        with pytest.raises(GraphError):
+            durations_from_op_times(dag_2x3, {(0, "forward"): 1.0})
+
+    def test_stage_nodes(self, dag_2x3):
+        assert len(dag_2x3.stage_nodes(0)) == 6
+
+    def test_cycle_detection(self):
+        dag = ComputationDag()
+        a = dag.add_node(Instruction(0, 0, InstrKind.FORWARD))
+        b = dag.add_node(Instruction(0, 0, InstrKind.BACKWARD))
+        dag.add_edge(a, b)
+        dag.add_edge(b, a)
+        with pytest.raises(GraphError):
+            dag.topological_order()
+
+    def test_self_loop_rejected(self):
+        dag = ComputationDag()
+        a = dag.add_node(Instruction(0, 0, InstrKind.FORWARD))
+        with pytest.raises(GraphError):
+            dag.add_edge(a, a)

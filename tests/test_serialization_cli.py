@@ -1,0 +1,105 @@
+"""Serialization round-trips and the CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.serialization import (
+    SerializationError,
+    frontier_from_dict,
+    frontier_to_dict,
+    load_json,
+    profile_from_dict,
+    profile_to_dict,
+    save_json,
+)
+
+
+class TestProfileRoundTrip:
+    def test_round_trip_preserves_measurements(self, small_profile):
+        payload = profile_to_dict(small_profile)
+        restored = profile_from_dict(json.loads(json.dumps(payload)))
+        assert restored.p_blocking_w == small_profile.p_blocking_w
+        assert set(restored.ops) == set(small_profile.ops)
+        for op in small_profile.ops:
+            assert restored.ops[op].measurements == small_profile.ops[op].measurements
+
+    def test_kind_checked(self, small_profile):
+        payload = profile_to_dict(small_profile)
+        payload["kind"] = "frontier"
+        with pytest.raises(SerializationError):
+            profile_from_dict(payload)
+
+    def test_version_checked(self, small_profile):
+        payload = profile_to_dict(small_profile)
+        payload["version"] = 999
+        with pytest.raises(SerializationError):
+            profile_from_dict(payload)
+
+
+class TestFrontierRoundTrip:
+    def test_round_trip_preserves_lookup(self, small_optimizer):
+        frontier = small_optimizer.frontier
+        restored = frontier_from_dict(
+            json.loads(json.dumps(frontier_to_dict(frontier)))
+        )
+        assert restored.t_min == pytest.approx(frontier.t_min)
+        assert restored.t_star == pytest.approx(frontier.t_star)
+        assert len(restored.points) == len(frontier.points)
+        target = (frontier.t_min + frontier.t_star) / 2
+        assert restored.schedule_for(target).iteration_time == pytest.approx(
+            frontier.schedule_for(target).iteration_time
+        )
+
+    def test_frequencies_survive(self, small_optimizer):
+        frontier = small_optimizer.frontier
+        restored = frontier_from_dict(frontier_to_dict(frontier))
+        assert restored.points[0].frequencies == frontier.points[0].frequencies
+
+    def test_save_load_json_dispatch(self, small_optimizer, small_profile):
+        for obj in (small_optimizer.frontier, small_profile):
+            buf = io.StringIO()
+            save_json(obj, buf)
+            buf.seek(0)
+            restored = load_json(buf)
+            assert type(restored).__name__ == type(obj).__name__
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            load_json(io.StringIO('{"kind": "mystery"}'))
+
+
+class TestCLI:
+    def test_models_and_gpus(self, capsys):
+        assert main(["models"]) == 0
+        assert "gpt3-xl" in capsys.readouterr().out
+        assert main(["gpus"]) == 0
+        assert "a100-pcie-80g" in capsys.readouterr().out
+
+    def test_plan_and_straggler(self, tmp_path, capsys):
+        out = tmp_path / "frontier.json"
+        rc = main([
+            "plan", "bert-large", "--gpu", "a100", "--stages", "2",
+            "--microbatches", "3", "--freq-stride", "24",
+            "-o", str(out),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "frontier" in text and "intrinsic" in text
+        assert out.exists()
+
+        rc = main(["straggler", str(out), "--degrees", "1.1", "1.4"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "degree 1.10" in text and "degree 1.40" in text
+
+    def test_timeline(self, capsys):
+        rc = main([
+            "timeline", "bert-large", "--stages", "2", "--microbatches", "3",
+            "--freq-stride", "24", "--width", "60",
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "(a)" in text and "(b)" in text and "S1 |" in text
