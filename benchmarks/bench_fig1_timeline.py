@@ -9,9 +9,7 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro import plan_pipeline
-from repro.baselines import max_frequency_plan
-from repro.sim import execute_frequency_plan
+from repro.api import PlanSpec, default_planner
 from repro.viz import render_comparison
 
 #: (model, figure label) as visualized in Figure 1 / Figure 10.
@@ -25,18 +23,11 @@ FIGURE_MODELS = [
 
 
 def _render(model_name):
-    plan = plan_pipeline(
-        model_name, gpu="a100", num_stages=4, num_microbatches=6,
-        freq_stride=8,
-    )
-    base = execute_frequency_plan(
-        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
-    )
-    opt = execute_frequency_plan(
-        plan.dag,
-        plan.optimizer.schedule_for_straggler(None).frequencies,
-        plan.profile,
-    )
+    planner = default_planner()
+    spec = PlanSpec(model_name, gpu="a100", stages=4, microbatches=6,
+                    freq_stride=8)
+    base = planner.baseline_execution(spec)
+    opt = planner.plan(spec).execution
     return base, opt
 
 

@@ -9,7 +9,7 @@ where, and why ZeusPerStage cannot reach the fast end.
 Run:  python examples/frontier_exploration.py
 """
 
-from repro import plan_pipeline
+from repro.api import PlanSpec, default_planner
 from repro.baselines import zeus_global_frontier, zeus_per_stage_frontier
 from repro.sim import execute_frequency_plan
 
@@ -34,11 +34,10 @@ def ascii_scatter(series, width=78, height=20):
 
 
 def main() -> None:
-    plan = plan_pipeline(
-        "gpt3-2.7b", gpu="a40", num_stages=8, num_microbatches=16,
-        freq_stride=6,
-    )
-    frontier = plan.optimizer.frontier
+    plan = default_planner().result(PlanSpec(
+        "gpt3-2.7b", gpu="a40", stages=8, microbatches=16, freq_stride=6,
+    ))
+    frontier = plan.frontier
 
     perseus_pts = []
     step = max(1, len(frontier.points) // 12)

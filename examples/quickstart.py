@@ -1,61 +1,58 @@
 #!/usr/bin/env python
-"""Quickstart: plan a pipeline and read its time-energy frontier.
+"""Quickstart: one PlanSpec, one Planner, every strategy.
 
 Plans GPT-3 1.3B on four simulated A100s (the paper's Figure 1 / Table 3
-headline workload), characterizes the time-energy frontier with the
-graph-cut optimizer, and compares Perseus's minimum-time energy schedule
-against the all-max-frequency default.
+headline workload) through the unified planning API: a frozen
+:class:`repro.api.PlanSpec` describes the workload, the shared
+:class:`repro.api.Planner` runs model -> partition -> profile -> DAG ->
+optimize with per-stage memoization, and every registered strategy plans
+over the same profile for an apples-to-apples comparison.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import plan_pipeline
-from repro.baselines import max_frequency_plan
-from repro.sim import execute_frequency_plan
+from repro.api import PlanSpec, default_planner, list_strategies
 from repro.viz import render_comparison
 
 
 def main() -> None:
-    # 1. One call: build the model, partition stages with minimum
-    #    imbalance, profile every stage across the clock ladder, and
-    #    characterize the full time-energy frontier.
-    plan = plan_pipeline(
+    # 1. One spec names the whole planning request; the default strategy
+    #    is Perseus's graph-cut frontier planner.
+    spec = PlanSpec(
         "gpt3-xl",          # GPT-3 1.3B from the model zoo
         gpu="a100",         # A100 PCIe, 210-1410 MHz in 15 MHz steps
-        num_stages=4,
-        num_microbatches=6,  # drawn to scale like Figure 1
-        freq_stride=4,       # profile every 4th clock (60 MHz grid)
+        stages=4,
+        microbatches=6,     # drawn to scale like Figure 1
+        freq_stride=4,      # profile every 4th clock (60 MHz grid)
     )
+    planner = default_planner()
 
-    frontier = plan.optimizer.frontier
-    print(f"model:        {plan.model.name} ({plan.model.params / 1e9:.1f}B params)")
-    print(f"partition:    {list(plan.partition.boundaries)} "
-          f"(imbalance ratio {plan.partition.ratio:.2f})")
+    # 2. The full stack (model, partition, profile, DAG, frontier) --
+    #    memoized, so later plans on the same spec reuse every stage.
+    stack = planner.result(spec)
+    frontier = stack.frontier
+    print(f"model:        {stack.model.name} "
+          f"({stack.model.params / 1e9:.1f}B params)")
+    print(f"partition:    {list(stack.partition.boundaries)} "
+          f"(imbalance ratio {stack.partition.ratio:.2f})")
     print(f"frontier:     {len(frontier.points)} schedules, "
           f"T_min={frontier.t_min:.3f}s .. T*={frontier.t_star:.3f}s")
     print(f"optimizer:    {frontier.steps} graph-cut steps in "
           f"{frontier.optimizer_runtime_s:.2f}s")
 
-    # 2. Execute both plans on the simulator (profiled ground truth).
-    baseline = execute_frequency_plan(
-        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
-    )
-    schedule = plan.optimizer.schedule_for_straggler(None)  # no straggler
-    perseus = execute_frequency_plan(
-        plan.dag, schedule.frequencies, plan.profile
-    )
+    # 3. Every registered strategy over the single shared profile.
+    print("\nstrategy         iteration   energy    saved")
+    for name in list_strategies():
+        row = planner.plan(spec.replace(strategy=name))
+        print(f"{name:16s} {row.iteration_time_s:7.3f}s  "
+              f"{row.energy_j:6.0f} J  {row.energy_savings_pct:+5.1f}%")
 
-    saved = 1 - perseus.total_energy() / baseline.total_energy()
-    slow = perseus.iteration_time / baseline.iteration_time - 1
-    print(f"\nall-max:      {baseline.iteration_time:.3f}s  "
-          f"{baseline.total_energy():.0f} J")
-    print(f"Perseus:      {perseus.iteration_time:.3f}s  "
-          f"{perseus.total_energy():.0f} J  "
-          f"({saved:.1%} energy saved, {slow:+.2%} iteration time)")
-
-    # 3. Draw the Figure-1 style timelines.
+    # 4. Draw the Figure-1 style timelines: all-max vs Perseus.  Reports
+    #    carry their simulated execution, so nothing is re-simulated.
+    perseus = planner.plan(spec)
     print()
-    print(render_comparison(baseline, perseus, width=100))
+    print(render_comparison(planner.baseline_execution(spec),
+                            perseus.execution, width=100))
 
 
 if __name__ == "__main__":

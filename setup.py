@@ -1,4 +1,9 @@
-"""Setup shim so `pip install -e .` works without the `wheel` package."""
+"""Legacy setup shim; all metadata lives in ``pyproject.toml``.
+
+Kept so ancient tooling that insists on ``setup.py`` still resolves the
+package; ``pip install -e .`` reads pyproject (which also installs the
+``repro`` console script).
+"""
 from setuptools import setup
 
 setup()

@@ -7,14 +7,32 @@ partitioning, pipeline-schedule DAGs, the graph-cut frontier optimizer,
 an execution simulator, the client/server runtime, baselines (EnvPipe,
 Zeus variants), and large-scale emulation.
 
-Quickstart::
+Quickstart -- one spec, one planner, any strategy::
 
-    from repro import plan_pipeline
+    from repro.api import PlanSpec, default_planner, list_strategies
 
-    result = plan_pipeline("gpt3-xl", gpu="a100", num_stages=4,
-                           num_microbatches=8)
-    print(result.frontier.t_min, result.frontier.t_star)
-    schedule = result.optimizer.schedule_for_straggler(None)
+    planner = default_planner()
+    spec = PlanSpec("gpt3-xl", gpu="a100", stages=4, microbatches=8)
+
+    report = planner.plan(spec)               # strategy="perseus"
+    print(report.iteration_time_s, report.energy_savings_pct)
+
+    stack = planner.result(spec)              # the full planning stack
+    print(stack.frontier.t_min, stack.frontier.t_star)
+
+    for name in list_strategies():            # every registered policy,
+        row = planner.plan(spec.replace(strategy=name))   # one profile
+        print(name, row.energy_j)
+
+The planner memoizes each pipeline stage (model, partition, profile,
+DAG, frontier) on the spec fields that determine it, so sweeping
+strategies or microbatch counts never re-profiles.  New schedulers plug
+in via ``@repro.api.register_strategy("name")`` -- see
+:mod:`repro.api.strategies`.
+
+:func:`plan_pipeline` is the deprecated one-call predecessor of this
+API; it now delegates to the shared planner and returns the identical
+:class:`PlanResult`.
 
 See ``examples/`` for full scenarios and ``benchmarks/`` for the scripts
 regenerating every table and figure of the paper.
@@ -22,12 +40,22 @@ regenerating every table and figure of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Optional
 
-from . import baselines, core, emulation, experiments, gpu, models
+from . import api, baselines, core, emulation, experiments, gpu, models
 from . import partition as partitioning
 from . import pipeline, profiler, runtime, sim, stragglers, viz
+from .api import (
+    PlanReport,
+    PlanResult,
+    PlanSpec,
+    Planner,
+    default_planner,
+    list_strategies,
+    register_strategy,
+    sweep,
+)
 from .core.frontier import Frontier
 from .core.optimizer import PerseusOptimizer
 from .gpu.specs import GPUSpec, get_gpu
@@ -39,23 +67,7 @@ from .pipeline.schedules import schedule_1f1b
 from .profiler.measurement import PipelineProfile
 from .profiler.online import profile_pipeline
 
-__version__ = "1.0.0"
-
-
-@dataclass
-class PlanResult:
-    """Everything :func:`plan_pipeline` produced for one training job."""
-
-    model: ModelSpec
-    gpu: GPUSpec
-    partition: PartitionResult
-    profile: PipelineProfile
-    dag: ComputationDag
-    optimizer: PerseusOptimizer
-
-    @property
-    def frontier(self) -> Frontier:
-        return self.optimizer.frontier
+__version__ = "1.1.0"
 
 
 def plan_pipeline(
@@ -68,40 +80,31 @@ def plan_pipeline(
     freq_stride: int = 4,
     tau: Optional[float] = None,
 ) -> PlanResult:
-    """One-call pipeline planning: model -> partition -> profile -> frontier.
+    """Deprecated shim over :meth:`repro.api.Planner.result`.
 
-    Args:
-        model_name: Zoo variant, e.g. ``"gpt3-xl"`` (see
-            :func:`repro.models.list_models`).
-        gpu: GPU name/alias, e.g. ``"a100"``, ``"a40"``.
-        num_stages: Pipeline parallel degree.
-        num_microbatches: Microbatches per iteration.
-        microbatch_size: Per-microbatch batch size (zoo default if None).
-        tensor_parallel: Operator-parallel degree within each stage.
-        freq_stride: Frequency-ladder subsampling for profiling (1 = full
-            15 MHz grid).
-        tau: Planning granularity in seconds (auto if None).
+    Produces exactly what it always did -- the assembled
+    model/partition/profile/DAG/optimizer stack -- but through the
+    shared :func:`repro.api.default_planner`, so results are identical
+    to (and share memoized stages with) the ``PlanSpec`` path.
+
+    .. deprecated:: 1.1
+        Use ``default_planner().result(PlanSpec(...))`` instead.
     """
-    gpu_spec = get_gpu(gpu)
-    model = build_model(model_name, microbatch_size)
-    part = partition_model(model, num_stages, gpu_spec)
-    profile = profile_pipeline(
-        model, part, gpu_spec, tensor_parallel=tensor_parallel,
-        freq_stride=freq_stride,
+    warnings.warn(
+        "plan_pipeline() is deprecated; use "
+        "repro.api.default_planner().result(repro.api.PlanSpec(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    dag = build_pipeline_dag(schedule_1f1b(num_stages, num_microbatches))
-    if tau is None:
-        from .experiments.runner import _auto_tau
-
-        tau = _auto_tau(dag, profile, 250)
-    optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
-    return PlanResult(
-        model=model,
-        gpu=gpu_spec,
-        partition=part,
-        profile=profile,
-        dag=dag,
-        optimizer=optimizer,
+    return default_planner().build_stack(
+        model=model_name,
+        gpu=gpu,
+        stages=num_stages,
+        microbatches=num_microbatches,
+        microbatch_size=microbatch_size,
+        tensor_parallel=tensor_parallel,
+        freq_stride=freq_stride,
+        tau=tau,
     )
 
 
@@ -113,15 +116,21 @@ __all__ = [
     "PartitionResult",
     "PerseusOptimizer",
     "PipelineProfile",
+    "PlanReport",
     "PlanResult",
+    "PlanSpec",
+    "Planner",
+    "api",
     "baselines",
     "build_model",
     "build_pipeline_dag",
     "core",
+    "default_planner",
     "emulation",
     "experiments",
     "get_gpu",
     "gpu",
+    "list_strategies",
     "models",
     "partition_model",
     "partitioning",
@@ -129,9 +138,11 @@ __all__ = [
     "plan_pipeline",
     "profile_pipeline",
     "profiler",
+    "register_strategy",
     "runtime",
     "schedule_1f1b",
     "sim",
     "stragglers",
+    "sweep",
     "viz",
 ]

@@ -1,0 +1,58 @@
+"""Unified planning API: ``PlanSpec`` in, frequency plans out.
+
+This package is the single front door to the Perseus planning pipeline:
+
+* :class:`PlanSpec` -- frozen, validated, JSON-round-trippable request.
+* :class:`Planner` -- runs model -> partition -> profile -> DAG ->
+  optimize with per-stage memoization keyed on the spec.
+* :func:`register_strategy` / :func:`get_strategy` /
+  :func:`list_strategies` -- the pluggable strategy registry under which
+  Perseus and every baseline expose one ``plan(ctx)`` signature.
+* :func:`sweep` -- batch specs into comparable :class:`PlanReport` rows.
+
+Quickstart::
+
+    from repro.api import PlanSpec, default_planner, list_strategies
+
+    planner = default_planner()
+    for name in list_strategies():
+        report = planner.plan(PlanSpec("gpt3-xl", strategy=name))
+        print(name, report.iteration_time_s, report.energy_j)
+"""
+
+from .planner import (
+    DEFAULT_STEP_TARGET,
+    PlanReport,
+    PlanResult,
+    Planner,
+    auto_tau,
+    default_planner,
+    sweep,
+)
+from .spec import FIDELITY_STRIDES, PlanSpec
+from .strategies import (
+    FrequencyPlan,
+    PlanContext,
+    Strategy,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+
+__all__ = [
+    "DEFAULT_STEP_TARGET",
+    "FIDELITY_STRIDES",
+    "FrequencyPlan",
+    "PlanContext",
+    "PlanReport",
+    "PlanResult",
+    "PlanSpec",
+    "Planner",
+    "Strategy",
+    "auto_tau",
+    "default_planner",
+    "get_strategy",
+    "list_strategies",
+    "register_strategy",
+    "sweep",
+]

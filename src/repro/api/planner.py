@@ -1,0 +1,435 @@
+"""The :class:`Planner`: one front door for the staged planning pipeline.
+
+The pipeline is always the same five stages --
+
+    build model -> partition -> profile -> DAG -> optimize/plan
+
+-- but before this API each caller (``plan_pipeline``, the experiment
+runner, the CLI, the server) re-assembled it by hand.  The planner owns
+the assembly and memoizes every stage on the sub-key of the
+:class:`~repro.api.spec.PlanSpec` that actually determines it, so a
+sweep over strategies or microbatch counts profiles each unique
+(model, gpu, partition) exactly once and characterizes each unique
+(dag, profile, tau) frontier exactly once.
+
+:func:`sweep` batches specs through a shared planner and returns
+comparable :class:`PlanReport` rows; :func:`auto_tau` derives the
+frontier granularity from the achievable time span (moved here from
+``repro.experiments.runner`` so the package root no longer reaches into
+the experiments layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.frontier import Frontier
+from ..core.optimizer import PerseusOptimizer
+from ..gpu.specs import GPUSpec, get_gpu
+from ..models.layers import ModelSpec
+from ..models.registry import build_model
+from ..partition.algorithms import PartitionResult, partition_model
+from ..pipeline.dag import ComputationDag, build_pipeline_dag
+from ..pipeline.schedules import schedule_1f1b
+from ..profiler.measurement import PipelineProfile
+from ..profiler.online import profile_pipeline
+from ..sim.executor import (
+    PipelineExecution,
+    execute_frequency_plan,
+    max_frequency_plan,
+    min_energy_plan,
+)
+from .spec import PlanSpec
+from .strategies import FrequencyPlan, PlanContext, get_strategy
+
+#: Target number of frontier steps when tau is derived automatically.
+DEFAULT_STEP_TARGET = 250
+
+
+def auto_tau(
+    dag: ComputationDag,
+    profile: PipelineProfile,
+    steps: int = DEFAULT_STEP_TARGET,
+) -> float:
+    """Pick tau so the frontier crawl takes ~``steps`` iterations.
+
+    The crawl walks from the all-min-energy iteration time down to the
+    all-max one, so tau = achievable span / steps.
+    """
+    fast = execute_frequency_plan(dag, max_frequency_plan(dag, profile), profile)
+    slow = execute_frequency_plan(dag, min_energy_plan(dag, profile), profile)
+    span = max(slow.iteration_time - fast.iteration_time, 1e-6)
+    return span / steps
+
+
+@dataclass
+class PlanResult:
+    """The assembled planning stack for one spec (the legacy bundle).
+
+    This is what :func:`repro.plan_pipeline` has always returned; the
+    planner keeps producing it so downstream code holding on to
+    ``result.optimizer`` / ``result.profile`` keeps working unchanged.
+    """
+
+    model: ModelSpec
+    gpu: GPUSpec
+    partition: PartitionResult
+    profile: PipelineProfile
+    dag: ComputationDag
+    optimizer: PerseusOptimizer
+
+    @property
+    def frontier(self) -> Frontier:
+        return self.optimizer.frontier
+
+    @property
+    def tau(self) -> float:
+        return self.optimizer.tau
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """One comparable row of a strategy evaluation or sweep.
+
+    Energies are Eq. 3 totals at each plan's own iteration horizon; the
+    baseline is the all-max-frequency plan on the same profile, matching
+    how every savings number in the paper is reported (§6.1).
+    """
+
+    spec: PlanSpec
+    strategy: str
+    iteration_time_s: float
+    energy_j: float
+    baseline_time_s: float
+    baseline_energy_j: float
+    plan: FrequencyPlan = field(repr=False, hash=False, compare=False,
+                                default_factory=dict)
+    #: The simulated execution behind the scalars (timeline rendering);
+    #: carried so callers never re-simulate the same plan.
+    execution: Optional[PipelineExecution] = field(
+        default=None, repr=False, hash=False, compare=False
+    )
+
+    @property
+    def energy_savings_pct(self) -> float:
+        return 100.0 * (1.0 - self.energy_j / self.baseline_energy_j)
+
+    @property
+    def slowdown_pct(self) -> float:
+        return 100.0 * (self.iteration_time_s / self.baseline_time_s - 1.0)
+
+    def to_dict(self) -> dict:
+        """Flat JSON-ready row (spec inlined, plan omitted)."""
+        return {
+            "model": self.spec.model,
+            "gpu": self.spec.gpu,
+            "stages": self.spec.stages,
+            "microbatches": self.spec.microbatches,
+            "strategy": self.strategy,
+            "iteration_time_s": self.iteration_time_s,
+            "energy_j": self.energy_j,
+            "baseline_time_s": self.baseline_time_s,
+            "baseline_energy_j": self.baseline_energy_j,
+            "energy_savings_pct": self.energy_savings_pct,
+            "slowdown_pct": self.slowdown_pct,
+        }
+
+
+class Planner:
+    """Runs the staged planning pipeline with per-stage memoization.
+
+    Every ``_build_*`` stage is keyed on exactly the spec fields it
+    depends on; ``stats`` counts the cache *misses* per stage, which is
+    what tests and the §6.5-style overhead accounting observe.
+    """
+
+    def __init__(self) -> None:
+        self._models: Dict[tuple, ModelSpec] = {}
+        self._partitions: Dict[tuple, PartitionResult] = {}
+        self._profiles: Dict[tuple, PipelineProfile] = {}
+        self._dags: Dict[tuple, ComputationDag] = {}
+        self._taus: Dict[tuple, float] = {}
+        self._optimizers: Dict[tuple, PerseusOptimizer] = {}
+        self._baselines: Dict[tuple, PipelineExecution] = {}
+        self.stats: Dict[str, int] = {
+            "model": 0, "partition": 0, "profile": 0,
+            "dag": 0, "tau": 0, "optimizer": 0,
+        }
+
+    def clear(self) -> None:
+        """Drop every memoized stage (long-lived processes: call between
+        unrelated job batches to release profiles and frontiers)."""
+        for cache in (self._models, self._partitions, self._profiles,
+                      self._dags, self._taus, self._optimizers,
+                      self._baselines):
+            cache.clear()
+
+    # -- staged builders (each memoized on its own key) ----------------------
+    @staticmethod
+    def _gpu_of(gpu: Union[str, GPUSpec]) -> GPUSpec:
+        return gpu if isinstance(gpu, GPUSpec) else get_gpu(gpu)
+
+    def _build_model(
+        self, name: str, microbatch_size: Optional[int]
+    ) -> ModelSpec:
+        key = (name, microbatch_size)
+        if key not in self._models:
+            self.stats["model"] += 1
+            self._models[key] = build_model(name, microbatch_size)
+        return self._models[key]
+
+    def _build_partition(
+        self,
+        model: ModelSpec,
+        stages: int,
+        gpu: GPUSpec,
+        microbatch_size: Optional[int],
+    ) -> PartitionResult:
+        # Keyed on the GPUSpec value itself (frozen dataclass), not its
+        # name: a custom spec reusing a registry name must not collide.
+        key = (model.name, microbatch_size, stages, gpu)
+        if key not in self._partitions:
+            self.stats["partition"] += 1
+            self._partitions[key] = partition_model(model, stages, gpu)
+        return self._partitions[key]
+
+    def _build_profile(
+        self,
+        model: ModelSpec,
+        partition_key: tuple,
+        partition: PartitionResult,
+        gpu: GPUSpec,
+        tensor_parallel: int,
+        freq_stride: int,
+        noise: float,
+        seed: int,
+    ) -> PipelineProfile:
+        key = partition_key + (tensor_parallel, freq_stride, noise, seed)
+        if key not in self._profiles:
+            self.stats["profile"] += 1
+            self._profiles[key] = profile_pipeline(
+                model,
+                partition,
+                gpu,
+                tensor_parallel=tensor_parallel,
+                freq_stride=freq_stride,
+                noise=noise,
+                seed=seed,
+            )
+        return self._profiles[key]
+
+    def _build_dag(self, stages: int, microbatches: int) -> ComputationDag:
+        key = (stages, microbatches)
+        if key not in self._dags:
+            self.stats["dag"] += 1
+            self._dags[key] = build_pipeline_dag(
+                schedule_1f1b(stages, microbatches)
+            )
+        return self._dags[key]
+
+    def _baseline_for(
+        self,
+        dag_key: tuple,
+        profile_key: tuple,
+        dag: ComputationDag,
+        profile: PipelineProfile,
+    ) -> PipelineExecution:
+        key = (dag_key, profile_key)
+        if key not in self._baselines:
+            self._baselines[key] = execute_frequency_plan(
+                dag, max_frequency_plan(dag, profile), profile
+            )
+        return self._baselines[key]
+
+    def _resolve_tau(
+        self,
+        tau: Optional[float],
+        dag_key: tuple,
+        profile_key: tuple,
+        dag: ComputationDag,
+        profile: PipelineProfile,
+        step_target: int,
+    ) -> float:
+        if tau is not None:
+            return tau
+        key = (dag_key, profile_key, step_target)
+        if key not in self._taus:
+            self.stats["tau"] += 1
+            # Same span computation as auto_tau(), but the max-frequency
+            # endpoint comes from (and warms) the shared baseline cache.
+            fast = self._baseline_for(dag_key, profile_key, dag, profile)
+            slow = execute_frequency_plan(
+                dag, min_energy_plan(dag, profile), profile
+            )
+            span = max(slow.iteration_time - fast.iteration_time, 1e-6)
+            self._taus[key] = span / step_target
+        return self._taus[key]
+
+    def _build_optimizer(
+        self,
+        dag_key: tuple,
+        profile_key: tuple,
+        tau: float,
+        dag: ComputationDag,
+        profile: PipelineProfile,
+    ) -> PerseusOptimizer:
+        key = (dag_key, profile_key, tau)
+        if key not in self._optimizers:
+            self.stats["optimizer"] += 1
+            self._optimizers[key] = PerseusOptimizer(
+                dag=dag, profile=profile, tau=tau
+            )
+        return self._optimizers[key]
+
+    # -- assembly ------------------------------------------------------------
+    def build_stack(
+        self,
+        model: str,
+        gpu: Union[str, GPUSpec] = "a100",
+        stages: int = 4,
+        microbatches: int = 8,
+        microbatch_size: Optional[int] = None,
+        tensor_parallel: int = 1,
+        freq_stride: int = 4,
+        tau: Optional[float] = None,
+        noise: float = 0.0,
+        seed: int = 0,
+        step_target: int = DEFAULT_STEP_TARGET,
+    ) -> PlanResult:
+        """The raw staged pipeline, for callers not speaking ``PlanSpec``.
+
+        ``repro.experiments.runner.prepare`` (which adds profiling noise
+        for robustness studies) and the legacy ``plan_pipeline`` shim
+        both land here; spec-based planning goes through :meth:`result`.
+        """
+        gpu_spec = self._gpu_of(gpu)
+        model_spec = self._build_model(model, microbatch_size)
+        partition_key = (model_spec.name, microbatch_size, stages, gpu_spec)
+        partition = self._build_partition(
+            model_spec, stages, gpu_spec, microbatch_size
+        )
+        profile_key = partition_key + (tensor_parallel, freq_stride, noise,
+                                       seed)
+        profile = self._build_profile(
+            model_spec, partition_key, partition, gpu_spec,
+            tensor_parallel, freq_stride, noise, seed,
+        )
+        dag_key = (stages, microbatches)
+        dag = self._build_dag(stages, microbatches)
+        tau = self._resolve_tau(
+            tau, dag_key, profile_key, dag, profile, step_target
+        )
+        optimizer = self._build_optimizer(
+            dag_key, profile_key, tau, dag, profile
+        )
+        return PlanResult(
+            model=model_spec,
+            gpu=gpu_spec,
+            partition=partition,
+            profile=profile,
+            dag=dag,
+            optimizer=optimizer,
+        )
+
+    def result(self, spec: PlanSpec) -> PlanResult:
+        """Assemble (or reuse) the full planning stack for a spec."""
+        return self.build_stack(
+            model=spec.model,
+            gpu=spec.gpu,
+            stages=spec.stages,
+            microbatches=spec.microbatches,
+            microbatch_size=spec.microbatch_size,
+            tensor_parallel=spec.tensor_parallel,
+            freq_stride=spec.effective_freq_stride,
+            tau=spec.tau,
+        )
+
+    def context(
+        self, spec: PlanSpec, straggler_time: Optional[float] = None
+    ) -> PlanContext:
+        """The strategy-facing view of a spec's planning stack."""
+        stack = self.result(spec)
+        return PlanContext(
+            dag=stack.dag,
+            profile=stack.profile,
+            tau=stack.optimizer.tau,
+            target_time=straggler_time,
+            _optimizer_factory=lambda: stack.optimizer,
+        )
+
+    def baseline_execution(self, spec: PlanSpec) -> PipelineExecution:
+        """All-max-frequency execution (the §6.1 savings reference).
+
+        Memoized per stack; callers rendering timelines or computing
+        custom savings should use this instead of re-simulating the
+        max-frequency plan themselves.
+        """
+        stack = self.result(spec)
+        partition_key = (stack.model.name, spec.microbatch_size,
+                         spec.stages, stack.gpu)
+        profile_key = partition_key + (spec.tensor_parallel,
+                                       spec.effective_freq_stride, 0.0, 0)
+        dag_key = (spec.stages, spec.microbatches)
+        return self._baseline_for(dag_key, profile_key, stack.dag,
+                                  stack.profile)
+
+    # -- planning ------------------------------------------------------------
+    def plan(
+        self, spec: PlanSpec, straggler_time: Optional[float] = None
+    ) -> PlanReport:
+        """Run ``spec.strategy`` over the (memoized) stack and report.
+
+        ``straggler_time`` is the anticipated straggler iteration time
+        ``T'`` handed to straggler-aware strategies (Perseus clamps it to
+        ``[T_min, T*]``; frontier-free baselines ignore it).
+        """
+        strategy = get_strategy(spec.strategy)
+        stack = self.result(spec)
+        ctx = self.context(spec, straggler_time)
+        frequencies = strategy.plan(ctx)
+        execution = execute_frequency_plan(
+            stack.dag, frequencies, stack.profile
+        )
+        baseline = self.baseline_execution(spec)
+        return PlanReport(
+            spec=spec,
+            strategy=spec.strategy,
+            iteration_time_s=execution.iteration_time,
+            energy_j=execution.total_energy(),
+            baseline_time_s=baseline.iteration_time,
+            baseline_energy_j=baseline.total_energy(),
+            plan=dict(frequencies),
+            execution=execution,
+        )
+
+    def sweep(self, specs: Iterable[PlanSpec]) -> List[PlanReport]:
+        """Plan every spec, sharing all memoized stages, in input order."""
+        return [self.plan(spec) for spec in specs]
+
+
+_DEFAULT_PLANNER: Optional[Planner] = None
+
+
+def default_planner() -> Planner:
+    """The process-wide shared planner (what the shims and CLI use).
+
+    Its caches live for the life of the process; long-running services
+    planning many unrelated jobs should call :meth:`Planner.clear`
+    between batches (or use private ``Planner()`` instances).
+    """
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = Planner()
+    return _DEFAULT_PLANNER
+
+
+def sweep(
+    specs: Iterable[PlanSpec], planner: Optional[Planner] = None
+) -> List[PlanReport]:
+    """Batch-plan specs on a shared planner; one comparable row each.
+
+    Specs differing only in strategy (or microbatch count, or tau) share
+    profiling work; pass an explicit ``planner`` to isolate caches.
+    """
+    return (planner or default_planner()).sweep(specs)

@@ -1,0 +1,162 @@
+"""The :class:`PlanSpec` planning configuration (one plan = one spec).
+
+A spec is a frozen, hashable value object naming everything the
+:class:`~repro.api.planner.Planner` needs to produce a frequency plan:
+the workload (model, gpu, parallelism), the profiling fidelity, the
+optimizer granularity, and which registered strategy should do the
+planning.  Because it is a value object it doubles as the memoization
+key for the planner's staged pipeline and round-trips through JSON for
+sweep manifests and the server API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import IO, Optional, Union
+
+from ..exceptions import ConfigurationError
+
+#: Serialized-payload schema version (bumped on incompatible changes).
+SPEC_FORMAT_VERSION = 1
+
+#: Named profiling-fidelity presets -> default frequency-ladder stride.
+#: ``full`` profiles the complete 15 MHz grid (paper fidelity); ``fast``
+#: is the experiment default; ``smoke`` is for CI and quick sanity runs.
+FIDELITY_STRIDES = {"full": 1, "fast": 4, "smoke": 16}
+
+DEFAULT_FIDELITY = "fast"
+DEFAULT_STRATEGY = "perseus"
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """Complete, validated description of one planning request.
+
+    Attributes:
+        model: Model-zoo variant, e.g. ``"gpt3-xl"``
+            (see :func:`repro.models.list_models`).
+        gpu: GPU name or alias, e.g. ``"a100"``, ``"a40"``
+            (see :func:`repro.gpu.specs.list_gpus`).
+        stages: Pipeline-parallel degree.
+        microbatches: Microbatches per training iteration.
+        microbatch_size: Per-microbatch batch size (zoo default if None).
+        tensor_parallel: Operator-parallel degree within each stage.
+        freq_stride: Frequency-ladder subsampling for profiling
+            (1 = full 15 MHz grid).  ``None`` defers to the fidelity
+            preset's default stride.
+        tau: Frontier planning granularity in seconds (auto-derived from
+            the frontier span if None).
+        strategy: Registered strategy name doing the planning (see
+            :func:`repro.api.list_strategies`).
+        fidelity: Profiling-fidelity preset: ``"full"``, ``"fast"`` or
+            ``"smoke"``; only consulted while ``freq_stride`` is None.
+    """
+
+    model: str
+    gpu: str = "a100"
+    stages: int = 4
+    microbatches: int = 8
+    microbatch_size: Optional[int] = None
+    tensor_parallel: int = 1
+    freq_stride: Optional[int] = None
+    tau: Optional[float] = None
+    strategy: str = DEFAULT_STRATEGY
+    fidelity: str = DEFAULT_FIDELITY
+
+    def __post_init__(self) -> None:
+        if not self.model or not isinstance(self.model, str):
+            raise ConfigurationError("PlanSpec.model must be a model name")
+        if not self.gpu or not isinstance(self.gpu, str):
+            raise ConfigurationError("PlanSpec.gpu must be a GPU name")
+        if not self.strategy or not isinstance(self.strategy, str):
+            raise ConfigurationError(
+                "PlanSpec.strategy must be a strategy name"
+            )
+        for attr in ("stages", "microbatches", "tensor_parallel"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"PlanSpec.{attr} must be a positive int, got {value!r}"
+                )
+        if self.microbatch_size is not None and (
+            not isinstance(self.microbatch_size, int)
+            or self.microbatch_size < 1
+        ):
+            raise ConfigurationError(
+                f"PlanSpec.microbatch_size must be a positive int or None, "
+                f"got {self.microbatch_size!r}"
+            )
+        if self.freq_stride is not None and (
+            not isinstance(self.freq_stride, int) or self.freq_stride < 1
+        ):
+            raise ConfigurationError(
+                f"PlanSpec.freq_stride must be a positive int or None, "
+                f"got {self.freq_stride!r}"
+            )
+        if self.tau is not None and not self.tau > 0:
+            raise ConfigurationError(
+                f"PlanSpec.tau must be positive or None, got {self.tau!r}"
+            )
+        if self.fidelity not in FIDELITY_STRIDES:
+            raise ConfigurationError(
+                f"PlanSpec.fidelity must be one of "
+                f"{sorted(FIDELITY_STRIDES)}, got {self.fidelity!r}"
+            )
+
+    # -- derived values ------------------------------------------------------
+    @property
+    def effective_freq_stride(self) -> int:
+        """The profiling stride actually used (explicit wins over preset)."""
+        if self.freq_stride is not None:
+            return self.freq_stride
+        return FIDELITY_STRIDES[self.fidelity]
+
+    def replace(self, **changes) -> "PlanSpec":
+        """A copy with some fields changed (validation re-runs)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- JSON round-trip -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready representation (versioned, flat)."""
+        payload = {"version": SPEC_FORMAT_VERSION, "kind": "plan_spec"}
+        payload.update(dataclasses.asdict(self))
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PlanSpec":
+        """Inverse of :meth:`to_dict` (validates the result)."""
+        if not isinstance(payload, dict):
+            raise ConfigurationError("plan spec payload must be an object")
+        if payload.get("kind") != "plan_spec":
+            raise ConfigurationError(
+                f"expected kind 'plan_spec', got {payload.get('kind')!r}"
+            )
+        if payload.get("version") != SPEC_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported plan spec version {payload.get('version')!r}"
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - fields - {"version", "kind"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown plan spec fields: {sorted(unknown)}"
+            )
+        kwargs = {k: v for k, v in payload.items() if k in fields}
+        if "tau" in kwargs and kwargs["tau"] is not None:
+            kwargs["tau"] = float(kwargs["tau"])
+        return cls(**kwargs)
+
+    def to_json(self, fp: Optional[IO[str]] = None) -> str:
+        """Serialize to a JSON string (and optionally an open file)."""
+        text = json.dumps(self.to_dict(), sort_keys=True)
+        if fp is not None:
+            fp.write(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source: Union[str, IO[str]]) -> "PlanSpec":
+        """Parse a spec from a JSON string or open file."""
+        text = source if isinstance(source, str) else source.read()
+        return cls.from_dict(json.loads(text))

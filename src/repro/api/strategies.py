@@ -1,0 +1,184 @@
+"""Pluggable planning strategies: one protocol, one registry.
+
+Perseus's core observation is that *one* frontier characterization
+serves many scheduling policies; this module is the API expression of
+that: every scheduler -- Perseus itself and each baseline -- is a
+:class:`Strategy` with a single ``plan(ctx) -> {node: freq_mhz}``
+signature, registered by name so callers (CLI ``compare``, sweeps, the
+server) can enumerate and swap them without touching call sites.
+
+Registering a new strategy::
+
+    from repro.api import PlanContext, register_strategy
+
+    @register_strategy("my-policy")
+    class MyPolicy:
+        def plan(self, ctx: PlanContext):
+            return {n: ...  for n in ctx.dag.nodes}
+
+Plain functions work too: ``@register_strategy("f")`` on
+``def f(ctx): ...`` wraps it into a strategy object.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from ..exceptions import ConfigurationError
+from ..pipeline.dag import ComputationDag
+from ..profiler.measurement import PipelineProfile
+
+#: A frequency plan: DAG node id -> locked SM clock in MHz.
+FrequencyPlan = Dict[int, int]
+
+
+@dataclass
+class PlanContext:
+    """Everything a strategy may consult when planning.
+
+    The expensive members (profile, dag) are built once by the
+    :class:`~repro.api.planner.Planner` and shared across every strategy
+    planning the same pipeline; the frontier-backed ``optimizer`` is
+    materialized lazily so frontier-free strategies never pay for it.
+    """
+
+    dag: ComputationDag
+    profile: PipelineProfile
+    tau: float
+    #: Anticipated straggler iteration time ``T'`` (None = no straggler).
+    target_time: Optional[float] = None
+    _optimizer_factory: Optional[Callable[[], object]] = field(
+        default=None, repr=False
+    )
+    _optimizer: Optional[object] = field(default=None, repr=False)
+
+    @property
+    def optimizer(self):
+        """The (lazily characterized) Perseus frontier optimizer."""
+        if self._optimizer is None:
+            if self._optimizer_factory is None:
+                from ..core.optimizer import PerseusOptimizer
+
+                self._optimizer = PerseusOptimizer(
+                    dag=self.dag, profile=self.profile, tau=self.tau
+                )
+            else:
+                self._optimizer = self._optimizer_factory()
+        return self._optimizer
+
+
+class Strategy:
+    """Protocol for planning strategies (duck-typed; subclassing optional).
+
+    A strategy maps a :class:`PlanContext` to a complete frequency plan
+    covering every DAG node.  ``name`` is injected at registration.
+    """
+
+    name: str = ""
+
+    def plan(self, ctx: PlanContext) -> FrequencyPlan:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<strategy {self.name!r}>"
+
+
+class _FunctionStrategy(Strategy):
+    """Adapter wrapping a plain ``ctx -> plan`` function."""
+
+    def __init__(self, fn: Callable[[PlanContext], FrequencyPlan]):
+        self._fn = fn
+        self.__doc__ = fn.__doc__
+
+    def plan(self, ctx: PlanContext) -> FrequencyPlan:
+        return self._fn(ctx)
+
+
+_REGISTRY: Dict[str, Strategy] = {}
+
+#: Modules whose import registers the six built-in strategies.  Imported
+#: lazily on first lookup so ``repro.api`` never circularly imports the
+#: baselines package at module-import time.
+_BUILTIN_MODULES = (
+    "repro.baselines.static",
+    "repro.baselines.envpipe",
+    "repro.baselines.zeus_global",
+    "repro.baselines.zeus_perstage",
+)
+
+
+def register_strategy(
+    name: str,
+) -> Callable[[Union[type, Callable]], Union[type, Callable]]:
+    """Class/function decorator adding a strategy to the registry.
+
+    The decorated object is returned unchanged; what is stored is an
+    *instance* (classes are instantiated with no arguments, functions
+    are wrapped).  Re-registering a name overwrites it, which is how
+    plugins can shadow a built-in.
+    """
+    if not name or not isinstance(name, str):
+        raise ConfigurationError("strategy name must be a non-empty string")
+
+    def decorator(obj: Union[type, Callable]) -> Union[type, Callable]:
+        if inspect.isclass(obj):
+            instance = obj()
+            if not callable(getattr(instance, "plan", None)):
+                raise ConfigurationError(
+                    f"strategy class {obj.__name__} must define plan(ctx)"
+                )
+        elif callable(obj):
+            instance = _FunctionStrategy(obj)
+        else:
+            raise ConfigurationError(
+                f"cannot register {obj!r} as a strategy"
+            )
+        instance.name = name
+        _REGISTRY[name] = instance
+        return obj
+
+    return decorator
+
+
+def _ensure_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def get_strategy(name: str) -> Strategy:
+    """Look up a registered strategy by name.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` for unknown
+    names, listing what *is* registered.
+    """
+    _ensure_builtins()
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; registered: {list_strategies()}"
+        )
+    return _REGISTRY[name]
+
+
+def list_strategies() -> List[str]:
+    """Sorted names of every registered strategy (builtins included)."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in: Perseus (the paper's planner).  The baselines register
+# themselves from their own modules in ``repro.baselines``.
+# ---------------------------------------------------------------------------
+
+
+@register_strategy("perseus")
+class PerseusStrategy:
+    """Graph-cut frontier planner (§3-§4): ``T_opt = min(T*, T')`` lookup."""
+
+    def plan(self, ctx: PlanContext) -> FrequencyPlan:
+        schedule = ctx.optimizer.schedule_for_straggler(ctx.target_time)
+        return dict(schedule.frequencies)

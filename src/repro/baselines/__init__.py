@@ -1,4 +1,10 @@
-"""Baselines from the paper's evaluation: EnvPipe, ZeusGlobal, ZeusPerStage."""
+"""Baselines from the paper's evaluation: EnvPipe, ZeusGlobal, ZeusPerStage.
+
+Importing this package also registers every baseline with the strategy
+registry in :mod:`repro.api` (``envpipe``, ``zeus-global``,
+``zeus-per-stage``, ``max-freq``, ``min-energy``), so they are
+enumerable via :func:`repro.api.list_strategies` next to ``perseus``.
+"""
 
 from .envpipe import envpipe_plan, run_envpipe
 from .static import (
@@ -8,7 +14,13 @@ from .static import (
     run_max_frequency,
     run_min_energy,
 )
-from .zeus_global import BaselineFrontierPoint, global_plan, zeus_global_frontier
+from .zeus_global import (
+    BaselineFrontierPoint,
+    global_plan,
+    pipeline_peak_power,
+    select_operating_point,
+    zeus_global_frontier,
+)
 from .zeus_perstage import per_stage_plan, zeus_per_stage_frontier
 
 __all__ = [
@@ -18,10 +30,12 @@ __all__ = [
     "max_frequency_plan",
     "min_energy_plan",
     "per_stage_plan",
+    "pipeline_peak_power",
     "potential_savings",
     "run_envpipe",
     "run_max_frequency",
     "run_min_energy",
+    "select_operating_point",
     "zeus_global_frontier",
     "zeus_per_stage_frontier",
 ]

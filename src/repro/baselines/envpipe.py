@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..api.strategies import FrequencyPlan, PlanContext, register_strategy
 from ..exceptions import ProfilingError
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import PipelineProfile
@@ -137,3 +138,9 @@ def envpipe_plan(dag: ComputationDag, profile: PipelineProfile) -> Dict[int, int
 def run_envpipe(dag: ComputationDag, profile: PipelineProfile) -> PipelineExecution:
     """Plan with EnvPipe's heuristic and execute on profiled ground truth."""
     return execute_frequency_plan(dag, envpipe_plan(dag, profile), profile)
+
+
+@register_strategy("envpipe")
+def _envpipe_strategy(ctx: PlanContext) -> FrequencyPlan:
+    """EnvPipe's fixed envelope plan (straggler-oblivious by design)."""
+    return envpipe_plan(ctx.dag, ctx.profile)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ..api.strategies import FrequencyPlan, PlanContext, register_strategy
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import PipelineProfile
 from ..sim.executor import (
@@ -27,6 +28,18 @@ __all__ = [
     "run_min_energy",
     "potential_savings",
 ]
+
+
+@register_strategy("max-freq")
+def _max_frequency_strategy(ctx: PlanContext) -> FrequencyPlan:
+    """Every computation at the maximum clock (the §6.1 baseline)."""
+    return max_frequency_plan(ctx.dag, ctx.profile)
+
+
+@register_strategy("min-energy")
+def _min_energy_strategy(ctx: PlanContext) -> FrequencyPlan:
+    """Every computation at its min-energy clock (§2.4 upper bound)."""
+    return min_energy_plan(ctx.dag, ctx.profile)
 
 
 def run_max_frequency(

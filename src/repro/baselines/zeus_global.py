@@ -10,11 +10,17 @@ and cannot remove intrinsic energy bloat.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..api.strategies import FrequencyPlan, PlanContext, register_strategy
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import PipelineProfile
 from ..sim.executor import PipelineExecution, execute_frequency_plan
+
+#: Zeus's energy/time knob (NSDI'23 eta): 0.5 weighs a Joule saved equal
+#: to the Joules the whole pipeline would burn at peak power in the time
+#: lost, which is Zeus's default cost operating point.
+ZEUS_ETA = 0.5
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,56 @@ def zeus_global_frontier(
             BaselineFrontierPoint(label=f"global@{f}MHz", plan=plan, execution=execution)
         )
     return pareto_points(points)
+
+
+def pipeline_peak_power(profile: PipelineProfile) -> float:
+    """Peak sustained pipeline power: each stage's hottest op at max clock."""
+    per_stage: Dict[int, float] = {}
+    for op_key, op in profile.ops.items():
+        stage = op_key[0]
+        fastest = op.measurements[0] if op.fixed else op.fastest
+        power = fastest.energy_j / fastest.time_s
+        per_stage[stage] = max(per_stage.get(stage, 0.0), power)
+    return sum(per_stage.values())
+
+
+def select_operating_point(
+    points: List[BaselineFrontierPoint],
+    profile: PipelineProfile,
+    target_time: Optional[float],
+) -> BaselineFrontierPoint:
+    """Pick the single plan a Zeus controller would deploy.
+
+    With an anticipated straggler time ``T'``, the lowest-energy point
+    that still meets it (falling back to the fastest point when none
+    does); otherwise the minimizer of Zeus's cost
+    ``eta * E + (1 - eta) * P_max * T`` at the default ``eta`` -- the
+    knob Zeus actually optimizes in steady state.
+    """
+    if not points:
+        raise ValueError("baseline frontier has no points")
+    if target_time is not None:
+        feasible = [
+            p for p in points if p.iteration_time <= target_time + 1e-9
+        ]
+        if feasible:
+            return min(feasible, key=lambda p: p.total_energy())
+        return min(points, key=lambda p: p.iteration_time)
+    p_max = pipeline_peak_power(profile)
+    return min(
+        points,
+        key=lambda p: ZEUS_ETA * p.total_energy()
+        + (1.0 - ZEUS_ETA) * p_max * p.iteration_time,
+    )
+
+
+@register_strategy("zeus-global")
+def _zeus_global_strategy(ctx: PlanContext) -> FrequencyPlan:
+    """One global clock for all stages, at Zeus's cost-optimal point."""
+    points = zeus_global_frontier(ctx.dag, ctx.profile)
+    return dict(
+        select_operating_point(points, ctx.profile, ctx.target_time).plan
+    )
 
 
 def pareto_points(

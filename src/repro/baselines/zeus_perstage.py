@@ -12,10 +12,15 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..api.strategies import FrequencyPlan, PlanContext, register_strategy
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import PipelineProfile
 from ..sim.executor import execute_frequency_plan
-from .zeus_global import BaselineFrontierPoint, pareto_points
+from .zeus_global import (
+    BaselineFrontierPoint,
+    pareto_points,
+    select_operating_point,
+)
 
 
 def _stage_forward_time(profile: PipelineProfile, stage: int, freq: int) -> float:
@@ -97,3 +102,12 @@ def zeus_per_stage_frontier(
             )
         )
     return pareto_points(points)
+
+
+@register_strategy("zeus-per-stage")
+def _zeus_per_stage_strategy(ctx: PlanContext) -> FrequencyPlan:
+    """Forward-balanced per-stage clocks, at Zeus's cost-optimal point."""
+    points = zeus_per_stage_frontier(ctx.dag, ctx.profile)
+    return dict(
+        select_operating_point(points, ctx.profile, ctx.target_time).plan
+    )

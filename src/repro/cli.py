@@ -1,13 +1,23 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands:
 
 * ``plan``      -- model -> partition -> profile -> frontier; prints the
   frontier summary and (optionally) saves it as JSON for the server.
-* ``timeline``  -- render the Figure-1 style before/after timelines.
+  ``--strategy`` swaps the planner policy (default ``perseus``).
+* ``compare``   -- run **every** registered strategy over one shared
+  profile and tabulate iteration time, energy, savings and slowdown --
+  one row per strategy (see ``repro.api.list_strategies``).
+* ``timeline``  -- render the Figure-1 style before/after timelines for
+  the chosen ``--strategy``.
 * ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
-  schedules for one or more anticipated slowdowns.
-* ``models`` / ``gpus`` -- list the zoo and device registry.
+  schedules for one or more anticipated slowdowns (degrees outside the
+  frontier range are reported as clamped).
+* ``strategies`` / ``models`` / ``gpus`` -- list the strategy registry,
+  the model zoo and the device registry.
+
+All planning commands share one :class:`repro.api.Planner`, so e.g.
+``compare`` profiles the pipeline exactly once for all six strategies.
 """
 
 from __future__ import annotations
@@ -16,12 +26,12 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import plan_pipeline
-from .baselines.static import max_frequency_plan
-from .core.serialization import frontier_from_dict, load_json, save_json
+from .api import PlanSpec, default_planner, list_strategies
+from .core.serialization import load_json, save_json
+from .exceptions import ReproError
+from .experiments.report import format_table
 from .gpu.specs import list_gpus
 from .models.registry import list_models
-from .sim.executor import execute_frequency_plan
 from .viz.timeline_ascii import render_comparison
 
 
@@ -38,60 +48,82 @@ def _add_plan_args(p: argparse.ArgumentParser) -> None:
                    help="planning granularity in seconds (auto if omitted)")
 
 
-def _build(args) -> "object":
-    return plan_pipeline(
-        args.model,
+def _spec_of(args, strategy: Optional[str] = None) -> PlanSpec:
+    return PlanSpec(
+        model=args.model,
         gpu=args.gpu,
-        num_stages=args.stages,
-        num_microbatches=args.microbatches,
+        stages=args.stages,
+        microbatches=args.microbatches,
         microbatch_size=args.microbatch_size,
         tensor_parallel=args.tensor_parallel,
         freq_stride=args.freq_stride,
         tau=args.tau,
+        strategy=strategy or getattr(args, "strategy", "perseus"),
     )
 
 
 def cmd_plan(args) -> int:
-    plan = _build(args)
-    frontier = plan.optimizer.frontier
-    print(f"model      : {plan.model.name} "
-          f"({plan.model.params / 1e9:.2f}B params)")
-    print(f"gpu        : {plan.gpu.name}")
-    print(f"partition  : {list(plan.partition.boundaries)} "
-          f"(imbalance {plan.partition.ratio:.2f})")
-    print(f"frontier   : {len(frontier.points)} schedules, "
-          f"T_min={frontier.t_min:.4f}s, T*={frontier.t_star:.4f}s")
-    print(f"optimizer  : {frontier.steps} steps, "
-          f"{frontier.optimizer_runtime_s:.2f}s")
-    base = execute_frequency_plan(
-        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
-    )
-    perseus = execute_frequency_plan(
-        plan.dag, frontier.schedule_for(None).frequencies, plan.profile
-    )
-    print(f"intrinsic  : "
-          f"{100 * (1 - perseus.total_energy() / base.total_energy()):.1f}% "
-          f"energy saved at "
-          f"{100 * (perseus.iteration_time / base.iteration_time - 1):+.2f}% "
-          f"iteration time")
+    spec = _spec_of(args)
+    planner = default_planner()
+    stack = planner.result(spec)
+    report = planner.plan(spec)
+    print(f"model      : {stack.model.name} "
+          f"({stack.model.params / 1e9:.2f}B params)")
+    print(f"gpu        : {stack.gpu.name}")
+    print(f"strategy   : {spec.strategy}")
+    print(f"partition  : {list(stack.partition.boundaries)} "
+          f"(imbalance {stack.partition.ratio:.2f})")
+    if spec.strategy == "perseus" or args.output:
+        frontier = stack.frontier
+        print(f"frontier   : {len(frontier.points)} schedules, "
+              f"T_min={frontier.t_min:.4f}s, T*={frontier.t_star:.4f}s")
+        print(f"optimizer  : {frontier.steps} steps, "
+              f"{frontier.optimizer_runtime_s:.2f}s")
+    # "intrinsic" is the paper's term for bloat Perseus removes without
+    # slowing the iteration; other strategies get a neutral label.
+    label = "intrinsic" if spec.strategy == "perseus" else "savings"
+    print(f"{label:11s}: {report.energy_savings_pct:.1f}% energy saved at "
+          f"{report.slowdown_pct:+.2f}% iteration time")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fp:
-            save_json(frontier, fp)
+            save_json(stack.frontier, fp)
         print(f"frontier saved to {args.output}")
     return 0
 
 
+def cmd_compare(args) -> int:
+    planner = default_planner()
+    spec = _spec_of(args)
+    reports = planner.sweep(
+        spec.replace(strategy=name) for name in list_strategies()
+    )
+    rows = [
+        [
+            r.strategy,
+            f"{r.iteration_time_s:.4f}",
+            f"{r.energy_j:.1f}",
+            f"{r.energy_savings_pct:+.1f}",
+            f"{r.slowdown_pct:+.2f}",
+        ]
+        for r in reports
+    ]
+    print(format_table(
+        ["strategy", "iteration time (s)", "energy (J)",
+         "savings (%)", "slowdown (%)"],
+        rows,
+        title=f"{args.model} on {args.gpu}: every registered strategy "
+              f"(shared profile; savings vs all-max)",
+    ))
+    return 0
+
+
 def cmd_timeline(args) -> int:
-    plan = _build(args)
-    base = execute_frequency_plan(
-        plan.dag, max_frequency_plan(plan.dag, plan.profile), plan.profile
-    )
-    perseus = execute_frequency_plan(
-        plan.dag,
-        plan.optimizer.schedule_for_straggler(None).frequencies,
-        plan.profile,
-    )
-    print(render_comparison(base, perseus, width=args.width))
+    planner = default_planner()
+    spec = _spec_of(args)
+    report = planner.plan(spec)
+    base = planner.baseline_execution(spec)
+    print(render_comparison(base, report.execution, width=args.width,
+                            label=spec.strategy))
     return 0
 
 
@@ -104,10 +136,19 @@ def cmd_straggler(args) -> int:
     print(f"frontier: T_min={frontier.t_min:.4f}s T*={frontier.t_star:.4f}s")
     for degree in args.degrees:
         t_prime = degree * frontier.t_min
-        sched = frontier.schedule_for(min(t_prime, frontier.t_star))
-        print(f"  degree {degree:4.2f}: T_opt schedule at "
-              f"{sched.iteration_time:.4f}s, effective energy "
-              f"{sched.effective_energy:.1f} J")
+        t_opt = min(t_prime, frontier.t_star)
+        sched = frontier.schedule_for(t_opt)
+        clamped = (" (T' beyond frontier, clamped to T*)"
+                   if t_prime > frontier.t_star else "")
+        print(f"  degree {degree:4.2f}: T'={t_prime:.4f}s -> T_opt schedule "
+              f"at {sched.iteration_time:.4f}s, effective energy "
+              f"{sched.effective_energy:.1f} J{clamped}")
+    return 0
+
+
+def cmd_strategies(_args) -> int:
+    for name in list_strategies():
+        print(name)
     return 0
 
 
@@ -133,12 +174,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("plan", help="characterize a time-energy frontier")
     _add_plan_args(p)
+    p.add_argument("--strategy", default="perseus",
+                   help="registered strategy name (see 'strategies')")
     p.add_argument("--output", "-o", default=None,
                    help="save the frontier as JSON")
     p.set_defaults(func=cmd_plan)
 
+    p = sub.add_parser("compare",
+                       help="tabulate every registered strategy on one "
+                            "shared profile")
+    _add_plan_args(p)
+    p.set_defaults(func=cmd_compare)
+
     p = sub.add_parser("timeline", help="render before/after timelines")
     _add_plan_args(p)
+    p.add_argument("--strategy", default="perseus",
+                   help="registered strategy name (see 'strategies')")
     p.add_argument("--width", type=int, default=100)
     p.set_defaults(func=cmd_timeline)
 
@@ -149,6 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1.05, 1.1, 1.2, 1.3, 1.5])
     p.set_defaults(func=cmd_straggler)
 
+    p = sub.add_parser("strategies", help="list registered strategies")
+    p.set_defaults(func=cmd_strategies)
     p = sub.add_parser("models", help="list model zoo variants")
     p.set_defaults(func=cmd_models)
     p = sub.add_parser("gpus", help="list GPU specs")
@@ -158,7 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,10 +1,12 @@
-"""Persistence for profiles and frontiers.
+"""Persistence for profiles, frontiers and plan specs.
 
 A cluster-wide Perseus server caches energy schedules "for fast lookup"
 (§3.2); across server restarts or for offline analysis, profiles and
 characterized frontiers round-trip through plain JSON here.  Formats are
 versioned and deliberately flat (no pickling) so they diff cleanly and can
-be consumed by plotting tools.
+be consumed by plotting tools.  :class:`repro.api.PlanSpec` payloads
+(kind ``plan_spec``) take part in the same ``save_json``/``load_json``
+dispatch so sweep manifests live next to their artifacts.
 """
 
 from __future__ import annotations
@@ -132,24 +134,36 @@ def frontier_from_dict(payload: dict) -> Frontier:
 # ---------------------------------------------------------------------------
 
 
-def save_json(obj: Union[PipelineProfile, Frontier], fp: IO[str]) -> None:
-    """Serialize a profile or frontier to an open text file."""
+def save_json(obj, fp: IO[str]) -> None:
+    """Serialize a profile, frontier or plan spec to an open text file."""
+    from ..api.spec import PlanSpec
+
     if isinstance(obj, PipelineProfile):
         json.dump(profile_to_dict(obj), fp)
     elif isinstance(obj, Frontier):
         json.dump(frontier_to_dict(obj), fp)
+    elif isinstance(obj, PlanSpec):
+        json.dump(obj.to_dict(), fp)
     else:
         raise SerializationError(f"cannot serialize {type(obj).__name__}")
 
 
-def load_json(fp: IO[str]) -> Union[PipelineProfile, Frontier]:
+def load_json(fp: IO[str]):
     """Load whichever supported object the file contains."""
+    from ..api.spec import PlanSpec
+    from ..exceptions import ConfigurationError
+
     payload = json.load(fp)
-    kind = payload.get("kind")
+    kind = payload.get("kind") if isinstance(payload, dict) else None
     if kind == "pipeline_profile":
         return profile_from_dict(payload)
     if kind == "frontier":
         return frontier_from_dict(payload)
+    if kind == "plan_spec":
+        try:
+            return PlanSpec.from_dict(payload)
+        except ConfigurationError as exc:
+            raise SerializationError(str(exc)) from exc
     raise SerializationError(f"unknown payload kind {kind!r}")
 
 

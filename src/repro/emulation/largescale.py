@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.optimizer import PerseusOptimizer
 from ..exceptions import ConfigurationError
-from ..experiments.runner import _auto_tau
+from ..api.planner import auto_tau
 from ..gpu.specs import GPUSpec
 from ..models.registry import build_model
 from ..partition.algorithms import partition_model
@@ -103,7 +103,7 @@ def prepare_emulation(
         freq_stride=freq_stride,
     )
     dag = build_pipeline_dag(schedule_1f1b(PIPELINE_STAGES, num_microbatches))
-    tau = _auto_tau(dag, profile, step_target)
+    tau = auto_tau(dag, profile, step_target)
     optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
     setup = EmulationSetup(
         model_name=model_name,

@@ -1,8 +1,9 @@
 """End-to-end experiment pipeline: model -> partition -> profile -> plan.
 
-:func:`prepare` assembles everything an evaluation needs (and caches the
-expensive frontier characterization); the ``evaluate_*`` helpers produce
-the rows reported in the paper's tables.
+:func:`prepare` assembles everything an evaluation needs by delegating
+to the shared :class:`repro.api.Planner` (so experiments, the CLI and
+``plan_pipeline`` all memoize the same staged pipeline); the
+``evaluate_*`` helpers produce the rows reported in the paper's tables.
 """
 
 from __future__ import annotations
@@ -11,21 +12,19 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
+from ..api.planner import DEFAULT_STEP_TARGET, auto_tau, default_planner
 from ..baselines.envpipe import envpipe_plan
 from ..baselines.static import max_frequency_plan, min_energy_plan
 from ..core.optimizer import PerseusOptimizer
 from ..models.layers import ModelSpec
-from ..models.registry import build_model
-from ..partition.algorithms import PartitionResult, partition_model
-from ..pipeline.dag import ComputationDag, build_pipeline_dag
-from ..pipeline.schedules import schedule_1f1b
+from ..partition.algorithms import PartitionResult
+from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import PipelineProfile
-from ..profiler.online import profile_pipeline
 from ..sim.executor import PipelineExecution, execute_frequency_plan
 from .workloads import Workload, effective_microbatches, full_fidelity
 
-#: Target number of frontier steps when tau is derived automatically.
-DEFAULT_STEP_TARGET = 250
+#: Deprecated alias; :func:`repro.api.planner.auto_tau` is the home now.
+_auto_tau = auto_tau
 
 
 @dataclass
@@ -70,14 +69,6 @@ class ExperimentSetup:
         return execute_frequency_plan(self.dag, schedule.frequencies, self.profile)
 
 
-def _auto_tau(dag: ComputationDag, profile: PipelineProfile, steps: int) -> float:
-    """Pick tau so the crawl takes ~``steps`` iterations (span / steps)."""
-    fast = execute_frequency_plan(dag, max_frequency_plan(dag, profile), profile)
-    slow = execute_frequency_plan(dag, min_energy_plan(dag, profile), profile)
-    span = max(slow.iteration_time - fast.iteration_time, 1e-6)
-    return span / steps
-
-
 def prepare(
     workload: Workload,
     num_microbatches: Optional[int] = None,
@@ -98,28 +89,28 @@ def prepare(
     """
     stride = freq_stride if freq_stride is not None else (1 if full_fidelity() else 4)
     m = effective_microbatches(workload, num_microbatches)
-    model = build_model(workload.model_name, workload.microbatch_size)
-    partition = partition_model(model, workload.num_stages, workload.gpu)
-    profile = profile_pipeline(
-        model,
-        partition,
-        workload.gpu,
+    stack = default_planner().build_stack(
+        model=workload.model_name,
+        gpu=workload.gpu,
+        stages=workload.num_stages,
+        microbatches=m,
+        microbatch_size=workload.microbatch_size,
         tensor_parallel=workload.tensor_parallel,
         freq_stride=stride,
+        tau=tau,
         noise=noise,
         seed=seed,
+        step_target=step_target,
     )
-    dag = build_pipeline_dag(schedule_1f1b(workload.num_stages, m))
-    if tau is None:
-        tau = _auto_tau(dag, profile, step_target)
     return ExperimentSetup(
         workload=workload,
-        model=model,
-        partition=partition,
-        profile=profile,
-        dag=dag,
+        model=stack.model,
+        partition=stack.partition,
+        profile=stack.profile,
+        dag=stack.dag,
         num_microbatches=m,
-        tau=tau,
+        tau=stack.optimizer.tau,
+        _optimizer=stack.optimizer,
     )
 
 

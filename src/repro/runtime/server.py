@@ -8,15 +8,24 @@ infrastructure notifies stragglers via ``set_straggler`` (Table 2).
 
 Frontier characterization runs on a background thread so training
 continues at maximum clocks while the optimizer works (§3.2 step 2).
+
+Jobs can be registered either from raw parts (``register_job`` +
+``submit_profile``, the client-driven path) or from a single
+:class:`repro.api.PlanSpec` via :meth:`PerseusServer.register_spec`,
+which builds the DAG, profile and tau through the shared planner.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..core.frontier import DEFAULT_TAU, Frontier, characterize_frontier
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.planner import Planner
+    from ..api.spec import PlanSpec
 from ..core.schedule import EnergySchedule
 from ..core.unified import energy_optimal_iteration_time
 from ..exceptions import ServerError
@@ -65,6 +74,36 @@ class PerseusServer:
         if job_id in self._jobs:
             raise ServerError(f"job {job_id!r} already registered")
         self._jobs[job_id] = _Job(job_id=job_id, dag=dag, tau=tau)
+
+    def register_spec(
+        self,
+        job_id: str,
+        spec: "PlanSpec",
+        planner: Optional["Planner"] = None,
+        blocking: bool = False,
+    ) -> None:
+        """Register a job from a :class:`~repro.api.PlanSpec`.
+
+        The (memoized) planner assembles the DAG, the analytic profile
+        and the auto-derived tau, then the usual ``submit_profile`` path
+        kicks off frontier characterization -- asynchronously unless
+        ``blocking`` is set.
+
+        The server *is* the Perseus frontier service: it characterizes
+        and deploys frontier schedules, so a spec naming any other
+        strategy is rejected rather than silently ignored.
+        """
+        from ..api.planner import default_planner
+
+        if spec.strategy != "perseus":
+            raise ServerError(
+                f"the server deploys Perseus frontier schedules; got "
+                f"strategy {spec.strategy!r} -- use "
+                f"spec.replace(strategy='perseus')"
+            )
+        stack = (planner or default_planner()).result(spec)
+        self.register_job(job_id, stack.dag, tau=stack.optimizer.tau)
+        self.submit_profile(job_id, stack.profile, blocking=blocking)
 
     def submit_profile(
         self, job_id: str, profile: PipelineProfile, blocking: bool = False

@@ -52,16 +52,17 @@ def render_timeline(
 
 
 def render_comparison(
-    before: PipelineExecution, after: PipelineExecution, width: int = 100
+    before: PipelineExecution, after: PipelineExecution, width: int = 100,
+    label: str = "Perseus",
 ) -> str:
-    """Figure 1's (a)/(b) pair: max-frequency vs Perseus-optimized."""
+    """Figure 1's (a)/(b) pair: max-frequency vs the optimized plan."""
     return "\n".join(
         [
             "(a) all computations at maximum frequency "
             f"[{before.total_energy():.0f} J]",
             render_timeline(before, width=width),
             "",
-            "(b) Perseus energy schedule "
+            f"(b) {label} energy schedule "
             f"[{after.total_energy():.0f} J, "
             f"{100 * (1 - after.total_energy() / before.total_energy()):.1f}% saved]",
             render_timeline(after, width=width),
