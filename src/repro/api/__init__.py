@@ -2,13 +2,15 @@
 
 This package is the single front door to the Perseus planning pipeline:
 
-* :class:`PlanSpec` -- frozen, validated, JSON-round-trippable request.
+* :class:`PlanSpec` -- frozen, validated, JSON-round-trippable request;
+  ``gpu`` names one device or a per-stage tuple (mixed clusters).
 * :class:`Planner` -- runs model -> partition -> profile -> DAG ->
   optimize with per-stage memoization keyed on the spec.
 * :func:`register_strategy` / :func:`get_strategy` /
   :func:`list_strategies` -- the pluggable strategy registry under which
   Perseus and every baseline expose one ``plan(ctx)`` signature.
-* :func:`sweep` -- batch specs into comparable :class:`PlanReport` rows.
+* :func:`sweep` -- batch specs into comparable :class:`PlanReport` rows;
+  :func:`mixed_cluster_specs` expands a GPU pool into one spec per mix.
 
 Quickstart::
 
@@ -27,9 +29,10 @@ from .planner import (
     Planner,
     auto_tau,
     default_planner,
+    mixed_cluster_specs,
     sweep,
 )
-from .spec import FIDELITY_STRIDES, PlanSpec
+from .spec import FIDELITY_STRIDES, SPEC_FORMAT_VERSION, PlanSpec
 from .strategies import (
     FrequencyPlan,
     PlanContext,
@@ -37,6 +40,7 @@ from .strategies import (
     get_strategy,
     list_strategies,
     register_strategy,
+    strategy_description,
 )
 
 __all__ = [
@@ -48,11 +52,14 @@ __all__ = [
     "PlanResult",
     "PlanSpec",
     "Planner",
+    "SPEC_FORMAT_VERSION",
     "Strategy",
     "auto_tau",
     "default_planner",
     "get_strategy",
     "list_strategies",
+    "mixed_cluster_specs",
     "register_strategy",
+    "strategy_description",
     "sweep",
 ]

@@ -21,19 +21,25 @@ the experiments layer).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.frontier import Frontier
 from ..core.optimizer import PerseusOptimizer
-from ..gpu.specs import GPUSpec, get_gpu
+from ..exceptions import ConfigurationError
+from ..gpu.specs import GPULike, GPUSpec, is_homogeneous, resolve_gpus
 from ..models.layers import ModelSpec
 from ..models.registry import build_model
 from ..partition.algorithms import PartitionResult, partition_model
 from ..pipeline.dag import ComputationDag, build_pipeline_dag
 from ..pipeline.schedules import schedule_1f1b
-from ..profiler.measurement import PipelineProfile
-from ..profiler.online import profile_pipeline
+from ..profiler.measurement import OpProfile, PipelineProfile
+from ..profiler.online import (
+    profile_pipeline,
+    profile_stage_measurements,
+    stage_works,
+)
 from ..sim.executor import (
     PipelineExecution,
     execute_frequency_plan,
@@ -45,6 +51,18 @@ from .strategies import FrequencyPlan, PlanContext, get_strategy
 
 #: Target number of frontier steps when tau is derived automatically.
 DEFAULT_STEP_TARGET = 250
+
+
+def _canonical_gpu_key(gpus: Tuple[GPUSpec, ...]):
+    """Cache-key GPU component: the single spec, or the tuple if mixed.
+
+    Collapsing homogeneous tuples to the single spec is what makes a
+    homogeneous per-stage list hit exactly the caches (and therefore
+    reproduce exactly the plans) of the equivalent single-name spec.
+    The one collapse rule shared by the planner's key construction and
+    ``PlanResult.canonical_gpu``'s key reconstruction.
+    """
+    return gpus[0] if is_homogeneous(gpus) else tuple(gpus)
 
 
 def auto_tau(
@@ -78,6 +96,9 @@ class PlanResult:
     profile: PipelineProfile
     dag: ComputationDag
     optimizer: PerseusOptimizer
+    #: One resolved spec per stage; ``gpu`` stays the first stage's device
+    #: for legacy consumers (identical to it on homogeneous pipelines).
+    gpus: Tuple[GPUSpec, ...] = ()
 
     @property
     def frontier(self) -> Frontier:
@@ -86,6 +107,17 @@ class PlanResult:
     @property
     def tau(self) -> float:
         return self.optimizer.tau
+
+    @property
+    def canonical_gpu(self):
+        """The memoization key's GPU component (spec, or tuple if mixed)."""
+        if not self.gpus:
+            return self.gpu
+        return _canonical_gpu_key(self.gpus)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return bool(self.gpus) and not is_homogeneous(self.gpus)
 
 
 @dataclass(frozen=True)
@@ -123,7 +155,8 @@ class PlanReport:
         """Flat JSON-ready row (spec inlined, plan omitted)."""
         return {
             "model": self.spec.model,
-            "gpu": self.spec.gpu,
+            "gpu": (self.spec.gpu if isinstance(self.spec.gpu, str)
+                    else ",".join(self.spec.gpu)),
             "stages": self.spec.stages,
             "microbatches": self.spec.microbatches,
             "strategy": self.strategy,
@@ -148,12 +181,13 @@ class Planner:
         self._models: Dict[tuple, ModelSpec] = {}
         self._partitions: Dict[tuple, PartitionResult] = {}
         self._profiles: Dict[tuple, PipelineProfile] = {}
+        self._stage_sweeps: Dict[tuple, list] = {}
         self._dags: Dict[tuple, ComputationDag] = {}
         self._taus: Dict[tuple, float] = {}
         self._optimizers: Dict[tuple, PerseusOptimizer] = {}
         self._baselines: Dict[tuple, PipelineExecution] = {}
         self.stats: Dict[str, int] = {
-            "model": 0, "partition": 0, "profile": 0,
+            "model": 0, "partition": 0, "profile": 0, "stage_profile": 0,
             "dag": 0, "tau": 0, "optimizer": 0,
         }
 
@@ -161,14 +195,20 @@ class Planner:
         """Drop every memoized stage (long-lived processes: call between
         unrelated job batches to release profiles and frontiers)."""
         for cache in (self._models, self._partitions, self._profiles,
-                      self._dags, self._taus, self._optimizers,
-                      self._baselines):
+                      self._stage_sweeps, self._dags, self._taus,
+                      self._optimizers, self._baselines):
             cache.clear()
 
     # -- staged builders (each memoized on its own key) ----------------------
     @staticmethod
-    def _gpu_of(gpu: Union[str, GPUSpec]) -> GPUSpec:
-        return gpu if isinstance(gpu, GPUSpec) else get_gpu(gpu)
+    def _resolve(gpu: GPULike, stages: int) -> Tuple[GPUSpec, ...]:
+        """Per-stage resolved specs (aliases collapse, lists validate)."""
+        return resolve_gpus(gpu, stages)
+
+    @staticmethod
+    def _canonical(gpus: Tuple[GPUSpec, ...]):
+        """See :func:`_canonical_gpu_key` (the one collapse rule)."""
+        return _canonical_gpu_key(gpus)
 
     def _build_model(
         self, name: str, microbatch_size: Optional[int]
@@ -183,15 +223,21 @@ class Planner:
         self,
         model: ModelSpec,
         stages: int,
-        gpu: GPUSpec,
+        canonical_gpu,
+        gpus: Tuple[GPUSpec, ...],
         microbatch_size: Optional[int],
     ) -> PartitionResult:
         # Keyed on the GPUSpec value itself (frozen dataclass), not its
         # name: a custom spec reusing a registry name must not collide.
-        key = (model.name, microbatch_size, stages, gpu)
+        # The canonical form collapses homogeneous per-stage tuples, so a
+        # homogeneous list shares the single-name spec's cache entry.
+        key = (model.name, microbatch_size, stages, canonical_gpu)
         if key not in self._partitions:
             self.stats["partition"] += 1
-            self._partitions[key] = partition_model(model, stages, gpu)
+            self._partitions[key] = partition_model(
+                model, stages,
+                gpus[0] if isinstance(canonical_gpu, GPUSpec) else gpus,
+            )
         return self._partitions[key]
 
     def _build_profile(
@@ -199,7 +245,7 @@ class Planner:
         model: ModelSpec,
         partition_key: tuple,
         partition: PartitionResult,
-        gpu: GPUSpec,
+        gpus: Tuple[GPUSpec, ...],
         tensor_parallel: int,
         freq_stride: int,
         noise: float,
@@ -208,16 +254,66 @@ class Planner:
         key = partition_key + (tensor_parallel, freq_stride, noise, seed)
         if key not in self._profiles:
             self.stats["profile"] += 1
-            self._profiles[key] = profile_pipeline(
-                model,
-                partition,
-                gpu,
-                tensor_parallel=tensor_parallel,
-                freq_stride=freq_stride,
-                noise=noise,
-                seed=seed,
-            )
+            if is_homogeneous(gpus):
+                self._profiles[key] = profile_pipeline(
+                    model,
+                    partition,
+                    gpus[0],
+                    tensor_parallel=tensor_parallel,
+                    freq_stride=freq_stride,
+                    noise=noise,
+                    seed=seed,
+                )
+            elif noise:
+                # Noisy sweeps draw from one shared RNG stream; per-stage
+                # caching would replay it, so profile the pipeline whole.
+                self._profiles[key] = profile_pipeline(
+                    model,
+                    partition,
+                    gpus,
+                    tensor_parallel=tensor_parallel,
+                    freq_stride=freq_stride,
+                    noise=noise,
+                    seed=seed,
+                )
+            else:
+                self._profiles[key] = self._compose_hetero_profile(
+                    model, partition, gpus, tensor_parallel, freq_stride
+                )
         return self._profiles[key]
+
+    def _compose_hetero_profile(
+        self,
+        model: ModelSpec,
+        partition: PartitionResult,
+        gpus: Tuple[GPUSpec, ...],
+        tensor_parallel: int,
+        freq_stride: int,
+    ) -> PipelineProfile:
+        """Assemble a mixed-cluster profile from per-stage cached sweeps.
+
+        The sweep cache is keyed on ``(gpu, stage work, stride)`` -- the
+        content of a (model, gpu, partition-slice) triple -- so stages
+        sharing a device *and* a workload hit the cache, across specs and
+        even across models.  ``stats["stage_profile"]`` counts the sweeps
+        actually run.
+        """
+        sharded = model.shard(tensor_parallel) if tensor_parallel > 1 else model
+        profile = PipelineProfile.for_devices(gpus)
+        for stage, (fwd, bwd) in enumerate(stage_works(sharded, partition)):
+            for kind, work in (("forward", fwd), ("backward", bwd)):
+                sweep_key = (gpus[stage], work, freq_stride)
+                if sweep_key not in self._stage_sweeps:
+                    self.stats["stage_profile"] += 1
+                    self._stage_sweeps[sweep_key] = profile_stage_measurements(
+                        gpus[stage], work, freq_stride=freq_stride
+                    )
+                op = (stage, kind)
+                profile.ops[op] = OpProfile(
+                    op=op, measurements=list(self._stage_sweeps[sweep_key])
+                )
+        profile.validate()
+        return profile
 
     def _build_dag(self, stages: int, microbatches: int) -> ComputationDag:
         key = (stages, microbatches)
@@ -286,7 +382,7 @@ class Planner:
     def build_stack(
         self,
         model: str,
-        gpu: Union[str, GPUSpec] = "a100",
+        gpu: GPULike = "a100",
         stages: int = 4,
         microbatches: int = 8,
         microbatch_size: Optional[int] = None,
@@ -302,17 +398,20 @@ class Planner:
         ``repro.experiments.runner.prepare`` (which adds profiling noise
         for robustness studies) and the legacy ``plan_pipeline`` shim
         both land here; spec-based planning goes through :meth:`result`.
+        ``gpu`` accepts a single device or a per-stage sequence (mixed
+        cluster); homogeneous sequences share the single-device caches.
         """
-        gpu_spec = self._gpu_of(gpu)
+        gpus = self._resolve(gpu, stages)
+        gpu_key = self._canonical(gpus)
         model_spec = self._build_model(model, microbatch_size)
-        partition_key = (model_spec.name, microbatch_size, stages, gpu_spec)
+        partition_key = (model_spec.name, microbatch_size, stages, gpu_key)
         partition = self._build_partition(
-            model_spec, stages, gpu_spec, microbatch_size
+            model_spec, stages, gpu_key, gpus, microbatch_size
         )
         profile_key = partition_key + (tensor_parallel, freq_stride, noise,
                                        seed)
         profile = self._build_profile(
-            model_spec, partition_key, partition, gpu_spec,
+            model_spec, partition_key, partition, gpus,
             tensor_parallel, freq_stride, noise, seed,
         )
         dag_key = (stages, microbatches)
@@ -325,11 +424,12 @@ class Planner:
         )
         return PlanResult(
             model=model_spec,
-            gpu=gpu_spec,
+            gpu=gpus[0],
             partition=partition,
             profile=profile,
             dag=dag,
             optimizer=optimizer,
+            gpus=gpus,
         )
 
     def result(self, spec: PlanSpec) -> PlanResult:
@@ -367,7 +467,7 @@ class Planner:
         """
         stack = self.result(spec)
         partition_key = (stack.model.name, spec.microbatch_size,
-                         spec.stages, stack.gpu)
+                         spec.stages, stack.canonical_gpu)
         profile_key = partition_key + (spec.tensor_parallel,
                                        spec.effective_freq_stride, 0.0, 0)
         dag_key = (spec.stages, spec.microbatches)
@@ -430,6 +530,49 @@ def sweep(
     """Batch-plan specs on a shared planner; one comparable row each.
 
     Specs differing only in strategy (or microbatch count, or tau) share
-    profiling work; pass an explicit ``planner`` to isolate caches.
+    profiling work; mixed-GPU specs additionally share per-stage sweeps
+    wherever a stage's (device, workload) pair repeats.  Pass an explicit
+    ``planner`` to isolate caches.
     """
     return (planner or default_planner()).sweep(specs)
+
+
+def mixed_cluster_specs(
+    base: PlanSpec,
+    stage_gpus: Union[Sequence[str], Sequence[Sequence[str]]],
+) -> List[PlanSpec]:
+    """Cartesian mixed-cluster expansion of one spec: one spec per GPU mix.
+
+    ``stage_gpus`` is either a flat pool of GPU names (every stage may
+    take any of them) or one candidate list per stage.  The result
+    enumerates the cartesian product in stage order; feed it straight to
+    :func:`sweep`, which shares per-stage profiling across mixes::
+
+        specs = mixed_cluster_specs(PlanSpec("gpt3-xl"), ["a100", "a40"])
+        rows = sweep(specs)   # 2**4 mixes, far fewer unique stage sweeps
+    """
+    if isinstance(stage_gpus, str):
+        raise ConfigurationError(
+            "stage_gpus must be a sequence of GPU names (or per-stage "
+            f"candidate lists), not the single name {stage_gpus!r}"
+        )
+    if not stage_gpus:
+        raise ConfigurationError("stage_gpus must name at least one GPU")
+    if all(isinstance(g, str) for g in stage_gpus):
+        per_stage: List[Sequence[str]] = [list(stage_gpus)] * base.stages
+    else:
+        # A bare name among the per-stage entries means "this stage is
+        # fixed" -- wrap it so it does not iterate into characters.
+        per_stage = [
+            [choices] if isinstance(choices, str) else list(choices)
+            for choices in stage_gpus
+        ]
+        if len(per_stage) != base.stages:
+            raise ConfigurationError(
+                f"need one GPU candidate list per stage: got "
+                f"{len(per_stage)} for {base.stages} stages"
+            )
+    return [
+        base.replace(gpu=mix)
+        for mix in itertools.product(*per_stage)
+    ]

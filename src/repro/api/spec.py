@@ -14,12 +14,17 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import IO, Optional, Union
+from typing import IO, Optional, Tuple, Union
 
 from ..exceptions import ConfigurationError
 
 #: Serialized-payload schema version (bumped on incompatible changes).
-SPEC_FORMAT_VERSION = 1
+#: Version 2 added the per-stage ``gpu`` tuple form; version-1 payloads
+#: (always a single GPU name) still load.
+SPEC_FORMAT_VERSION = 2
+
+#: Payload versions :meth:`PlanSpec.from_dict` accepts.
+SUPPORTED_SPEC_VERSIONS = (1, 2)
 
 #: Named profiling-fidelity presets -> default frequency-ladder stride.
 #: ``full`` profiles the complete 15 MHz grid (paper fidelity); ``fast``
@@ -37,8 +42,12 @@ class PlanSpec:
     Attributes:
         model: Model-zoo variant, e.g. ``"gpt3-xl"``
             (see :func:`repro.models.list_models`).
-        gpu: GPU name or alias, e.g. ``"a100"``, ``"a40"``
-            (see :func:`repro.gpu.specs.list_gpus`).
+        gpu: GPU name or alias, e.g. ``"a100"``, ``"a40"`` (see
+            :func:`repro.gpu.specs.list_gpus`), or a tuple naming one GPU
+            per stage (e.g. ``("a100", "a100", "a40", "a40")``) for
+            mixed-cluster pipelines.  A tuple must have exactly
+            ``stages`` entries; a homogeneous tuple is equivalent to the
+            single name.
         stages: Pipeline-parallel degree.
         microbatches: Microbatches per training iteration.
         microbatch_size: Per-microbatch batch size (zoo default if None).
@@ -55,7 +64,7 @@ class PlanSpec:
     """
 
     model: str
-    gpu: str = "a100"
+    gpu: Union[str, Tuple[str, ...]] = "a100"
     stages: int = 4
     microbatches: int = 8
     microbatch_size: Optional[int] = None
@@ -68,8 +77,21 @@ class PlanSpec:
     def __post_init__(self) -> None:
         if not self.model or not isinstance(self.model, str):
             raise ConfigurationError("PlanSpec.model must be a model name")
-        if not self.gpu or not isinstance(self.gpu, str):
-            raise ConfigurationError("PlanSpec.gpu must be a GPU name")
+        if isinstance(self.gpu, list):
+            # Accept lists (e.g. from JSON) but store the hashable form.
+            object.__setattr__(self, "gpu", tuple(self.gpu))
+        if isinstance(self.gpu, tuple):
+            if not self.gpu or not all(
+                g and isinstance(g, str) for g in self.gpu
+            ):
+                raise ConfigurationError(
+                    "PlanSpec.gpu tuple entries must be GPU names"
+                )
+        elif not self.gpu or not isinstance(self.gpu, str):
+            raise ConfigurationError(
+                "PlanSpec.gpu must be a GPU name or a per-stage tuple "
+                "of GPU names"
+            )
         if not self.strategy or not isinstance(self.strategy, str):
             raise ConfigurationError(
                 "PlanSpec.strategy must be a strategy name"
@@ -80,6 +102,12 @@ class PlanSpec:
                 raise ConfigurationError(
                     f"PlanSpec.{attr} must be a positive int, got {value!r}"
                 )
+        if isinstance(self.gpu, tuple) and len(self.gpu) != self.stages:
+            raise ConfigurationError(
+                f"PlanSpec.gpu names {len(self.gpu)} GPUs for "
+                f"{self.stages} stages; a per-stage tuple must have "
+                f"exactly one entry per stage"
+            )
         if self.microbatch_size is not None and (
             not isinstance(self.microbatch_size, int)
             or self.microbatch_size < 1
@@ -107,6 +135,23 @@ class PlanSpec:
 
     # -- derived values ------------------------------------------------------
     @property
+    def gpu_names(self) -> Tuple[str, ...]:
+        """One GPU name per stage (single names are broadcast)."""
+        if isinstance(self.gpu, tuple):
+            return self.gpu
+        return (self.gpu,) * self.stages
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the spec *names* more than one GPU type.
+
+        Purely syntactic: distinct aliases of the same device (e.g.
+        ``"a100"`` and ``"a100-pcie"``) count as heterogeneous here; the
+        planner resolves aliases and treats such mixes as homogeneous.
+        """
+        return len(set(self.gpu_names)) > 1
+
+    @property
     def effective_freq_stride(self) -> int:
         """The profiling stride actually used (explicit wins over preset)."""
         if self.freq_stride is not None:
@@ -119,9 +164,15 @@ class PlanSpec:
 
     # -- JSON round-trip -----------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready representation (versioned, flat)."""
+        """JSON-ready representation (versioned, flat).
+
+        A per-stage ``gpu`` tuple serializes as a JSON list; a single
+        name stays a string (version-1 payloads are exactly this form).
+        """
         payload = {"version": SPEC_FORMAT_VERSION, "kind": "plan_spec"}
         payload.update(dataclasses.asdict(self))
+        if isinstance(payload["gpu"], tuple):
+            payload["gpu"] = list(payload["gpu"])
         return payload
 
     @classmethod
@@ -133,9 +184,16 @@ class PlanSpec:
             raise ConfigurationError(
                 f"expected kind 'plan_spec', got {payload.get('kind')!r}"
             )
-        if payload.get("version") != SPEC_FORMAT_VERSION:
+        version = payload.get("version")
+        if version not in SUPPORTED_SPEC_VERSIONS:
             raise ConfigurationError(
-                f"unsupported plan spec version {payload.get('version')!r}"
+                f"unsupported plan spec version {version!r}; supported: "
+                f"{list(SUPPORTED_SPEC_VERSIONS)}"
+            )
+        if version == 1 and not isinstance(payload.get("gpu", "a100"), str):
+            raise ConfigurationError(
+                "version-1 plan specs name a single GPU; per-stage GPU "
+                "lists require version 2"
             )
         fields = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - fields - {"version", "kind"}

@@ -81,8 +81,27 @@ class Strategy:
     def plan(self, ctx: PlanContext) -> FrequencyPlan:
         raise NotImplementedError
 
+    @property
+    def description(self) -> str:
+        """One-line summary: the first line of the strategy's docstring.
+
+        What ``repro strategies`` prints next to each name; write the
+        docstring's first line for that audience.
+        """
+        return strategy_description(self)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<strategy {self.name!r}>"
+
+
+def strategy_description(strategy: object) -> str:
+    """First docstring line of a registered strategy (duck-typed).
+
+    Works for ``Strategy`` subclasses, plain registered classes and
+    wrapped functions alike -- whatever the registry stores.
+    """
+    doc = (getattr(strategy, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else "(no description)"
 
 
 class _FunctionStrategy(Strategy):

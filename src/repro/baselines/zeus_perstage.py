@@ -68,7 +68,12 @@ def zeus_per_stage_frontier(
     """Sweep the balance target over the slowest stage's latency ladder.
 
     The natural target set: for each clock ``f``, the max over stages of
-    the stage forward time at ``f`` (the binding stage's latency).
+    the stage forward time at ``f`` (the binding stage's latency).  On a
+    mixed-GPU pipeline stages expose *different* ladders, so each stage
+    answers with its largest profiled clock not above ``f`` -- its own
+    ladder's knee -- rather than requiring ``f`` itself; a clock below a
+    stage's profiled range (the §5 early-exit cutoff) still skips the
+    target, as before.
     """
     freqs = sorted(
         {
@@ -85,11 +90,12 @@ def zeus_per_stage_frontier(
         ok = True
         for stage in range(dag.num_stages):
             op = profile.get((stage, "forward"))
-            try:
-                worst = max(worst, op.at_freq(f).time_s)
-            except Exception:
+            at_or_below = [m for m in op.measurements if m.freq_mhz <= f]
+            if not at_or_below:
                 ok = False
                 break
+            snapped = max(at_or_below, key=lambda m: m.freq_mhz)
+            worst = max(worst, snapped.time_s)
         if ok:
             targets.append(worst)
     points: List[BaselineFrontierPoint] = []

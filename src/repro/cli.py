@@ -13,11 +13,24 @@ Commands:
 * ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
   schedules for one or more anticipated slowdowns (degrees outside the
   frontier range are reported as clamped).
-* ``strategies`` / ``models`` / ``gpus`` -- list the strategy registry,
-  the model zoo and the device registry.
+* ``strategies`` / ``models`` / ``gpus`` -- list the strategy registry
+  (name plus one-line description), the model zoo and the device
+  registry.
 
 All planning commands share one :class:`repro.api.Planner`, so e.g.
 ``compare`` profiles the pipeline exactly once for all six strategies.
+
+``--gpu`` accepts either one name (``--gpu a100``) or a comma-separated
+per-stage list (``--gpu a100,a100,a40,a40``) for mixed-cluster planning;
+a per-stage list must name exactly one GPU per ``--stages``.
+
+Exit codes follow a two-value convention:
+
+* ``0`` -- the command ran to completion.
+* ``2`` -- a :class:`repro.exceptions.ReproError` (bad configuration,
+  unknown model/GPU/strategy, malformed input file); the message is
+  printed to stderr.  Unexpected internal failures propagate as
+  tracebacks, which is deliberate: they are bugs, not usage errors.
 """
 
 from __future__ import annotations
@@ -26,7 +39,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .api import PlanSpec, default_planner, list_strategies
+from .api import (
+    PlanSpec,
+    default_planner,
+    get_strategy,
+    list_strategies,
+    strategy_description,
+)
 from .core.serialization import load_json, save_json
 from .exceptions import ReproError
 from .experiments.report import format_table
@@ -37,7 +56,10 @@ from .viz.timeline_ascii import render_comparison
 
 def _add_plan_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("model", help="model zoo variant, e.g. gpt3-xl")
-    p.add_argument("--gpu", default="a100", help="GPU name/alias")
+    p.add_argument("--gpu", default="a100",
+                   help="GPU name/alias, or a comma-separated per-stage "
+                        "list (e.g. a100,a100,a40,a40) for a mixed "
+                        "cluster")
     p.add_argument("--stages", type=int, default=4, help="pipeline depth")
     p.add_argument("--microbatches", type=int, default=8)
     p.add_argument("--microbatch-size", type=int, default=None)
@@ -48,10 +70,17 @@ def _add_plan_args(p: argparse.ArgumentParser) -> None:
                    help="planning granularity in seconds (auto if omitted)")
 
 
+def _parse_gpu(raw: str):
+    """``a100`` -> name; ``a100,a100,a40,a40`` -> per-stage tuple."""
+    if "," in raw:
+        return tuple(name.strip() for name in raw.split(","))
+    return raw
+
+
 def _spec_of(args, strategy: Optional[str] = None) -> PlanSpec:
     return PlanSpec(
         model=args.model,
-        gpu=args.gpu,
+        gpu=_parse_gpu(args.gpu),
         stages=args.stages,
         microbatches=args.microbatches,
         microbatch_size=args.microbatch_size,
@@ -69,7 +98,11 @@ def cmd_plan(args) -> int:
     report = planner.plan(spec)
     print(f"model      : {stack.model.name} "
           f"({stack.model.params / 1e9:.2f}B params)")
-    print(f"gpu        : {stack.gpu.name}")
+    if stack.is_heterogeneous:
+        mix = ", ".join(f"stage{i}={g.name}" for i, g in enumerate(stack.gpus))
+        print(f"gpus       : {mix}")
+    else:
+        print(f"gpu        : {stack.gpu.name}")
     print(f"strategy   : {spec.strategy}")
     print(f"partition  : {list(stack.partition.boundaries)} "
           f"(imbalance {stack.partition.ratio:.2f})")
@@ -147,8 +180,10 @@ def cmd_straggler(args) -> int:
 
 
 def cmd_strategies(_args) -> int:
-    for name in list_strategies():
-        print(name)
+    names = list_strategies()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {strategy_description(get_strategy(name))}")
     return 0
 
 

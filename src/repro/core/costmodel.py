@@ -119,9 +119,14 @@ def build_cost_model(
 
 
 def build_cost_models(profile: PipelineProfile) -> Dict[OpKey, OpCostModel]:
-    """Cost models for every op in a pipeline profile."""
+    """Cost models for every op in a pipeline profile.
+
+    Each op's effective energy uses *its own stage's* blocking power
+    (``profile.blocking_power(stage)``), so mixed-GPU pipelines trade
+    slowdown against the displaced idle draw of the right device.
+    """
     profile.validate()
     return {
-        op: build_cost_model(op_profile, profile.p_blocking_w)
+        op: build_cost_model(op_profile, profile.blocking_power(op[0]))
         for op, op_profile in profile.ops.items()
     }

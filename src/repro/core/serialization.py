@@ -21,6 +21,12 @@ from .schedule import EnergySchedule
 
 FORMAT_VERSION = 1
 
+#: Pipeline-profile payloads carrying the per-stage ``stage_blocking_w``
+#: map (mixed-GPU clusters) are stamped version 2 so pre-mixed-cluster
+#: readers reject them loudly instead of silently averaging the per-stage
+#: blocking powers; homogeneous profiles keep writing version 1.
+PROFILE_FORMAT_VERSION_MIXED = 2
+
 
 class SerializationError(ReproError):
     """Payload is malformed or from an unsupported format version."""
@@ -40,12 +46,23 @@ def _op_key_from_json(raw) -> tuple:
 
 
 def profile_to_dict(profile: PipelineProfile) -> dict:
-    """JSON-ready representation of a pipeline profile."""
-    return {
-        "version": FORMAT_VERSION,
+    """JSON-ready representation of a pipeline profile.
+
+    Mixed-GPU profiles carry the optional ``stage_blocking_w`` map
+    (absent for homogeneous profiles, so old payloads stay valid).
+    """
+    payload = {
+        "version": (PROFILE_FORMAT_VERSION_MIXED
+                    if profile.stage_blocking_w is not None
+                    else FORMAT_VERSION),
         "kind": "pipeline_profile",
         "p_blocking_w": profile.p_blocking_w,
-        "ops": [
+    }
+    if profile.stage_blocking_w is not None:
+        payload["stage_blocking_w"] = {
+            str(stage): w for stage, w in profile.stage_blocking_w.items()
+        }
+    payload["ops"] = [
             {
                 "op": _op_key_to_json(op),
                 "fixed": op_profile.fixed,
@@ -55,14 +72,23 @@ def profile_to_dict(profile: PipelineProfile) -> dict:
                 ],
             }
             for op, op_profile in profile.ops.items()
-        ],
-    }
+        ]
+    return payload
 
 
 def profile_from_dict(payload: dict) -> PipelineProfile:
     """Inverse of :func:`profile_to_dict` (validates the result)."""
-    _expect(payload, "pipeline_profile")
-    profile = PipelineProfile(p_blocking_w=float(payload["p_blocking_w"]))
+    _expect(payload, "pipeline_profile",
+            versions=(FORMAT_VERSION, PROFILE_FORMAT_VERSION_MIXED))
+    stage_blocking = payload.get("stage_blocking_w")
+    profile = PipelineProfile(
+        p_blocking_w=float(payload["p_blocking_w"]),
+        stage_blocking_w=(
+            {int(stage): float(w) for stage, w in stage_blocking.items()}
+            if stage_blocking is not None
+            else None
+        ),
+    )
     for entry in payload["ops"]:
         op = _op_key_from_json(entry["op"])
         op_profile = OpProfile(op=op, fixed=bool(entry["fixed"]))
@@ -167,14 +193,14 @@ def load_json(fp: IO[str]):
     raise SerializationError(f"unknown payload kind {kind!r}")
 
 
-def _expect(payload: dict, kind: str) -> None:
+def _expect(payload: dict, kind: str, versions=(FORMAT_VERSION,)) -> None:
     if not isinstance(payload, dict):
         raise SerializationError("payload must be a JSON object")
     if payload.get("kind") != kind:
         raise SerializationError(
             f"expected kind {kind!r}, got {payload.get('kind')!r}"
         )
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in versions:
         raise SerializationError(
             f"unsupported format version {payload.get('version')!r}"
         )

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 from ..core.optimizer import PerseusOptimizer
 from ..exceptions import ConfigurationError
 from ..api.planner import auto_tau
-from ..gpu.specs import GPUSpec
+from ..gpu.specs import GPULike, GPUSpec, resolve_gpus
 from ..models.registry import build_model
 from ..partition.algorithms import partition_model
 from ..pipeline.dag import build_pipeline_dag
@@ -63,12 +63,13 @@ class EmulationSetup:
     """One emulated (model, GPU, microbatch-count) pipeline."""
 
     model_name: str
-    gpu: GPUSpec
+    gpu: GPUSpec  # first stage's device (== all stages when homogeneous)
     num_microbatches: int
     dag: object
     profile: object
     optimizer: PerseusOptimizer
     per_gpu_scale: float = TENSOR_PARALLEL  # energy counted per TP group
+    gpus: tuple = ()  # per-stage devices (mixed-cluster emulation)
 
     _cache: Dict = field(default_factory=dict, repr=False)
 
@@ -78,7 +79,7 @@ _SETUP_CACHE: Dict[tuple, EmulationSetup] = {}
 
 def prepare_emulation(
     model_name: str,
-    gpu: GPUSpec,
+    gpu: GPULike,
     num_microbatches: int,
     microbatch_size: int = 1,
     freq_stride: int = 4,
@@ -88,17 +89,21 @@ def prepare_emulation(
 
     Per §4.4, operator parallelism lets Perseus profile one GPU per stage
     and replicate: the returned profile is the per-GPU (TP-sharded) view,
-    and per-pipeline energies scale by the TP degree.
+    and per-pipeline energies scale by the TP degree.  ``gpu`` may be a
+    per-stage sequence to emulate a mixed-generation cluster (the §6.3
+    machinery then runs unchanged on the heterogeneous profile).
     """
-    key = (model_name, gpu.name, num_microbatches, microbatch_size, freq_stride)
+    gpus = resolve_gpus(gpu, PIPELINE_STAGES)
+    key = (model_name, tuple(g.name for g in gpus), num_microbatches,
+           microbatch_size, freq_stride)
     if key in _SETUP_CACHE:
         return _SETUP_CACHE[key]
     model = build_model(model_name, microbatch_size)
-    partition = partition_model(model, PIPELINE_STAGES, gpu)
+    partition = partition_model(model, PIPELINE_STAGES, gpus)
     profile = profile_pipeline(
         model,
         partition,
-        gpu,
+        gpus,
         tensor_parallel=TENSOR_PARALLEL,
         freq_stride=freq_stride,
     )
@@ -107,11 +112,12 @@ def prepare_emulation(
     optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
     setup = EmulationSetup(
         model_name=model_name,
-        gpu=gpu,
+        gpu=gpus[0],
         num_microbatches=num_microbatches,
         dag=dag,
         profile=profile,
         optimizer=optimizer,
+        gpus=gpus,
     )
     _SETUP_CACHE[key] = setup
     return setup
@@ -146,10 +152,11 @@ def emulated_straggler_savings(
     t_prime = base.iteration_time * slowdown
     straggler_energy = (
         base.compute_energy()  # throttled power x stretched time ~= energy
-        + base.p_blocking_w
-        * (base.num_devices() * t_prime - sum(
-            base.stage_busy_time(s) * slowdown for s in range(base.num_devices())
-        ))
+        + sum(
+            base.blocking_power(s)
+            * (t_prime - base.stage_busy_time(s) * slowdown)
+            for s in range(base.num_devices())
+        )
     )
 
     base_non_straggler = base.total_energy(sync_time=t_prime)

@@ -14,7 +14,7 @@ match the paper exactly: A100 210-1410 MHz, A40 210-1740 MHz, H100 SXM up to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence, Tuple, Union
 
 from ..exceptions import ConfigurationError
 from .frequency import FrequencyTable
@@ -194,3 +194,32 @@ def get_gpu(name: str) -> GPUSpec:
 def list_gpus() -> list:
     """All registered canonical GPU names."""
     return sorted(_REGISTRY)
+
+
+#: Anything naming one GPU (registry name/alias or an explicit spec) or a
+#: per-stage sequence thereof -- the type every planning entry point takes.
+GPULike = Union[str, GPUSpec, Sequence[Union[str, GPUSpec]]]
+
+
+def resolve_gpus(gpu: GPULike, num_stages: int) -> Tuple[GPUSpec, ...]:
+    """Per-stage GPU specs from a name, a spec, or a per-stage sequence.
+
+    A single name/spec is broadcast to every stage; a sequence must name
+    exactly one GPU per stage (mixed clusters assign hardware positionally).
+    """
+    if isinstance(gpu, (str, GPUSpec)):
+        gpu = (gpu,) * num_stages
+    resolved = tuple(
+        g if isinstance(g, GPUSpec) else get_gpu(g) for g in gpu
+    )
+    if len(resolved) != num_stages:
+        raise ConfigurationError(
+            f"need one GPU per stage: got {len(resolved)} for "
+            f"{num_stages} stages"
+        )
+    return resolved
+
+
+def is_homogeneous(gpus: Sequence[GPUSpec]) -> bool:
+    """Whether every stage runs the same device (aliases compare equal)."""
+    return all(g == gpus[0] for g in gpus)

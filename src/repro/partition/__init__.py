@@ -3,19 +3,27 @@
 from .algorithms import (
     PartitionResult,
     min_imbalance_partition,
+    min_imbalance_partition_hetero,
     partition_model,
     partition_model_uniform,
     uniform_partition,
 )
-from .imbalance import imbalance_ratio, stage_latencies, validate_partition
+from .imbalance import (
+    imbalance_ratio,
+    stage_latencies,
+    stage_latencies_hetero,
+    validate_partition,
+)
 
 __all__ = [
     "PartitionResult",
     "imbalance_ratio",
     "min_imbalance_partition",
+    "min_imbalance_partition_hetero",
     "partition_model",
     "partition_model_uniform",
     "stage_latencies",
+    "stage_latencies_hetero",
     "uniform_partition",
     "validate_partition",
 ]

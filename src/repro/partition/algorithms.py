@@ -20,9 +20,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..exceptions import PartitionError
-from ..gpu.specs import GPUSpec
+from ..gpu.specs import GPULike, GPUSpec, is_homogeneous, resolve_gpus
 from ..models.layers import ModelSpec
-from .imbalance import imbalance_ratio, stage_latencies, validate_partition
+from .imbalance import (
+    imbalance_ratio,
+    stage_latencies,
+    stage_latencies_hetero,
+    validate_partition,
+)
 
 
 @dataclass(frozen=True)
@@ -81,41 +86,55 @@ def _prune(states: List[_State]) -> List[_State]:
     return kept
 
 
-def min_imbalance_partition(
-    layer_latencies: Sequence[float],
+def _min_imbalance_tables(
+    tables: Sequence[Sequence[float]],
     num_stages: int,
-    tail_latency: float = 0.0,
-) -> PartitionResult:
-    """Exact minimum-imbalance contiguous partition.
+    tails: Sequence[float],
+) -> Tuple[int, ...]:
+    """Boundaries of the exact minimum-imbalance contiguous partition.
 
-    Args:
-        layer_latencies: Forward latency of each partitionable layer.
-        num_stages: Pipeline depth ``N``.
-        tail_latency: Latency pinned to the final stage (LM head).
+    ``tables[s]`` prices every layer on stage ``s``'s device; the DP loop
+    index *is* the stage number, so a segment assigned to stage ``s`` is
+    summed from stage ``s``'s own table -- heterogeneity costs nothing
+    beyond one prefix array per distinct device.
     """
-    num_layers = len(layer_latencies)
-    if num_stages <= 0 or num_layers < num_stages:
+    if num_stages <= 0 or not tables:
+        raise PartitionError(
+            f"cannot split layers into {num_stages} stages"
+        )
+    num_layers = len(tables[0])
+    if num_layers < num_stages:
         raise PartitionError(
             f"cannot split {num_layers} layers into {num_stages} stages"
         )
-    if any(lat <= 0 for lat in layer_latencies):
-        raise PartitionError("layer latencies must be positive")
+    for table in tables:
+        if len(table) != num_layers:
+            raise PartitionError("latency tables must cover the same layers")
+        if any(lat <= 0 for lat in table):
+            raise PartitionError("layer latencies must be positive")
 
-    prefix = [0.0]
-    for lat in layer_latencies:
-        prefix.append(prefix[-1] + lat)
+    prefix_cache: dict = {}
+    prefixes: List[List[float]] = []
+    for table in tables:
+        key = tuple(table)
+        if key not in prefix_cache:
+            prefix = [0.0]
+            for lat in table:
+                prefix.append(prefix[-1] + lat)
+            prefix_cache[key] = prefix
+        prefixes.append(prefix_cache[key])
 
-    def seg(a: int, b: int, last: bool) -> float:
-        total = prefix[b] - prefix[a]
+    def seg(a: int, b: int, stage_idx: int, last: bool) -> float:
+        total = prefixes[stage_idx][b] - prefixes[stage_idx][a]
         if last:
-            total += tail_latency
+            total += tails[stage_idx]
         return total
 
     # dp[j] -> Pareto states for splitting layers [0, j) into `stage` stages.
     dp: List[List[_State]] = [[] for _ in range(num_layers + 1)]
     for j in range(1, num_layers + 1):
         last = num_stages == 1 and j == num_layers
-        lat = seg(0, j, last)
+        lat = seg(0, j, 0, last)
         dp[j] = [_State(lat, lat, None, 0)]
 
     for stage in range(2, num_stages + 1):
@@ -128,7 +147,8 @@ def min_imbalance_partition(
             for k in range(stage - 1, j):
                 if not dp[k]:
                     continue
-                lat = seg(k, j, stage == num_stages and j == num_layers)
+                lat = seg(k, j, stage - 1,
+                          stage == num_stages and j == num_layers)
                 for st in dp[k]:
                     candidates.append(
                         _State(max(st.max_lat, lat), min(st.min_lat, lat), st, k)
@@ -148,27 +168,112 @@ def min_imbalance_partition(
         st = st.prev
     boundaries.reverse()
     validate_partition(boundaries, num_layers, num_stages)
+    return tuple(boundaries)
+
+
+def min_imbalance_partition(
+    layer_latencies: Sequence[float],
+    num_stages: int,
+    tail_latency: float = 0.0,
+) -> PartitionResult:
+    """Exact minimum-imbalance contiguous partition.
+
+    Args:
+        layer_latencies: Forward latency of each partitionable layer.
+        num_stages: Pipeline depth ``N``.
+        tail_latency: Latency pinned to the final stage (LM head).
+    """
+    boundaries = _min_imbalance_tables(
+        [layer_latencies] * num_stages, num_stages,
+        [tail_latency] * num_stages,
+    )
     lats = stage_latencies(layer_latencies, boundaries, tail_latency)
     return PartitionResult(tuple(boundaries), tuple(lats), imbalance_ratio(lats))
 
 
-def partition_model(
-    model: ModelSpec, num_stages: int, gpu: GPUSpec
+def min_imbalance_partition_hetero(
+    per_stage_layer_latencies: Sequence[Sequence[float]],
+    num_stages: int,
+    per_stage_tail_latencies: Optional[Sequence[float]] = None,
 ) -> PartitionResult:
-    """Minimum-imbalance partition of a model on a given GPU."""
-    lats = model.layer_forward_latencies(gpu)
-    return min_imbalance_partition(
-        lats, num_stages, tail_latency=model.tail_forward_latency(gpu)
+    """Minimum-imbalance partition over per-stage latency tables.
+
+    The mixed-cluster generalization of :func:`min_imbalance_partition`:
+    stage ``s``'s latency is the sum of its layers priced on *its own*
+    device, so the search trades layer counts against per-stage
+    throughput ceilings (a slow GPU naturally receives fewer layers).
+    """
+    if len(per_stage_layer_latencies) != num_stages:
+        raise PartitionError(
+            f"need one latency table per stage: got "
+            f"{len(per_stage_layer_latencies)} for {num_stages} stages"
+        )
+    tails = (
+        list(per_stage_tail_latencies)
+        if per_stage_tail_latencies is not None
+        else [0.0] * num_stages
+    )
+    if len(tails) != num_stages:
+        raise PartitionError(
+            f"need one tail latency per stage: got {len(tails)} for "
+            f"{num_stages} stages"
+        )
+    boundaries = _min_imbalance_tables(
+        per_stage_layer_latencies, num_stages, tails
+    )
+    lats = stage_latencies_hetero(
+        per_stage_layer_latencies, boundaries, tails
+    )
+    return PartitionResult(tuple(boundaries), tuple(lats), imbalance_ratio(lats))
+
+
+def partition_model(
+    model: ModelSpec, num_stages: int, gpu: GPULike
+) -> PartitionResult:
+    """Minimum-imbalance partition of a model on one GPU or a mix.
+
+    ``gpu`` may be a single device (name or spec) or a per-stage
+    sequence; a mixed pipeline is partitioned with each stage's block
+    priced on that stage's device.
+    """
+    gpus = resolve_gpus(gpu, num_stages)
+    if is_homogeneous(gpus):
+        lats = model.layer_forward_latencies(gpus[0])
+        return min_imbalance_partition(
+            lats, num_stages, tail_latency=model.tail_forward_latency(gpus[0])
+        )
+    # Deduped by the GPUSpec value itself (frozen dataclass), not its
+    # name: a custom spec reusing a registry name must not collide.
+    tables_by_gpu = {}
+    tails_by_gpu = {}
+    for g in gpus:
+        if g not in tables_by_gpu:
+            tables_by_gpu[g] = model.layer_forward_latencies(g)
+            tails_by_gpu[g] = model.tail_forward_latency(g)
+    return min_imbalance_partition_hetero(
+        [tables_by_gpu[g] for g in gpus],
+        num_stages,
+        [tails_by_gpu[g] for g in gpus],
     )
 
 
 def partition_model_uniform(
-    model: ModelSpec, num_stages: int, gpu: GPUSpec
+    model: ModelSpec, num_stages: int, gpu: GPULike
 ) -> PartitionResult:
     """Uniform-layer-count partition of a model (baseline planner)."""
-    lats = model.layer_forward_latencies(gpu)
-    boundaries = uniform_partition(len(lats), num_stages)
-    stage_lats = stage_latencies(lats, boundaries, model.tail_forward_latency(gpu))
+    gpus = resolve_gpus(gpu, num_stages)
+    boundaries = uniform_partition(model.num_layers, num_stages)
+    if is_homogeneous(gpus):
+        lats = model.layer_forward_latencies(gpus[0])
+        stage_lats = stage_latencies(
+            lats, boundaries, model.tail_forward_latency(gpus[0])
+        )
+    else:
+        stage_lats = stage_latencies_hetero(
+            [model.layer_forward_latencies(g) for g in gpus],
+            boundaries,
+            [model.tail_forward_latency(g) for g in gpus],
+        )
     return PartitionResult(
         tuple(boundaries), tuple(stage_lats), imbalance_ratio(stage_lats)
     )

@@ -49,6 +49,43 @@ def stage_latencies(
     return stages
 
 
+def stage_latencies_hetero(
+    per_stage_layer_latencies: Sequence[Sequence[float]],
+    boundaries: Sequence[int],
+    per_stage_tail_latencies: Sequence[float],
+) -> List[float]:
+    """Per-stage forward latencies on a mixed-GPU pipeline.
+
+    Each stage's layer block is priced on *that stage's* device:
+    ``per_stage_layer_latencies[s]`` holds every layer's forward latency
+    on stage ``s``'s GPU, and ``per_stage_tail_latencies[s]`` the pinned
+    tail's latency there (only the last stage's entry is charged).  The
+    imbalance ratio over these latencies is the heterogeneity-aware
+    metric: a stage is long either because it holds more layers or
+    because its device has a lower throughput ceiling.
+    """
+    num_stages = len(boundaries) - 1
+    if len(per_stage_layer_latencies) != num_stages:
+        raise PartitionError(
+            f"need one latency table per stage: got "
+            f"{len(per_stage_layer_latencies)} for {num_stages} stages"
+        )
+    if len(per_stage_tail_latencies) != num_stages:
+        raise PartitionError(
+            f"need one tail latency per stage: got "
+            f"{len(per_stage_tail_latencies)} for {num_stages} stages"
+        )
+    num_layers = len(per_stage_layer_latencies[0])
+    validate_partition(boundaries, num_layers, num_stages)
+    stages = []
+    for s, (a, b) in enumerate(zip(boundaries, boundaries[1:])):
+        total = sum(per_stage_layer_latencies[s][a:b])
+        if s == num_stages - 1:
+            total += per_stage_tail_latencies[s]
+        stages.append(total)
+    return stages
+
+
 def imbalance_ratio(stage_latency_list: Sequence[float]) -> float:
     """Longest-to-shortest stage forward latency ratio (1.00 = balanced)."""
     if not stage_latency_list:

@@ -101,15 +101,50 @@ class OpProfile:
 
 @dataclass
 class PipelineProfile:
-    """Profiles of every computation type in one pipeline + P_blocking."""
+    """Profiles of every computation type in one pipeline + P_blocking.
+
+    On a homogeneous pipeline ``p_blocking_w`` is the single device's
+    blocking power.  A mixed-GPU pipeline additionally carries
+    ``stage_blocking_w`` (stage -> that stage's device blocking power);
+    ``p_blocking_w`` then holds the per-stage mean so legacy scalar
+    consumers stay well-defined.  :meth:`blocking_power` is the
+    stage-aware lookup every accounting path should use.
+    """
 
     ops: Dict[OpKey, OpProfile] = field(default_factory=dict)
     p_blocking_w: float = 0.0
+    stage_blocking_w: Optional[Dict[int, float]] = None
+
+    @classmethod
+    def for_devices(cls, devices: Sequence) -> "PipelineProfile":
+        """Empty profile with the blocking-power header for a pipeline.
+
+        ``devices`` is one per-stage object exposing ``blocking_w``
+        (e.g. :class:`repro.gpu.specs.GPUSpec`).  Equal blocking powers
+        collapse to the scalar homogeneous form; a mix gets the
+        per-stage map with the mean kept as the scalar.  The one place
+        the mixed-cluster blocking convention is defined.
+        """
+        blocking = [d.blocking_w for d in devices]
+        if not blocking:
+            raise ProfilingError("a pipeline needs at least one device")
+        if all(w == blocking[0] for w in blocking):
+            return cls(p_blocking_w=blocking[0])
+        return cls(
+            p_blocking_w=sum(blocking) / len(blocking),
+            stage_blocking_w=dict(enumerate(blocking)),
+        )
 
     def get(self, op: OpKey) -> OpProfile:
         if op not in self.ops:
             raise ProfilingError(f"no profile for op {op}")
         return self.ops[op]
+
+    def blocking_power(self, stage: int) -> float:
+        """``P_blocking`` of one stage's device (scalar fallback)."""
+        if self.stage_blocking_w is not None and stage in self.stage_blocking_w:
+            return self.stage_blocking_w[stage]
+        return self.p_blocking_w
 
     def add_measurement(
         self, op: OpKey, measurement: Measurement, fixed: bool = False
@@ -123,6 +158,10 @@ class PipelineProfile:
     def validate(self) -> None:
         if self.p_blocking_w <= 0:
             raise ProfilingError("P_blocking must be profiled and positive")
+        if self.stage_blocking_w is not None and any(
+            w <= 0 for w in self.stage_blocking_w.values()
+        ):
+            raise ProfilingError("per-stage P_blocking must be positive")
         for op, profile in self.ops.items():
             if not profile.measurements:
                 raise ProfilingError(f"op {op} has no measurements")

@@ -12,13 +12,13 @@ client-side profiler that drives a running training engine lives in
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ProfilingError
 from ..gpu.energy_model import ComputationEnergyModel, WorkProfile
-from ..gpu.specs import GPUSpec
+from ..gpu.specs import GPULike, GPUSpec, resolve_gpus
 from ..partition.algorithms import PartitionResult
 from ..models.layers import ModelSpec
 from .measurement import Measurement, OpProfile, PipelineProfile
@@ -78,10 +78,29 @@ def stage_works(
     return works
 
 
+def profile_stage_measurements(
+    gpu: GPUSpec,
+    work: WorkProfile,
+    freq_stride: int = 1,
+    noise: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Measurement]:
+    """One computation's frequency sweep on one stage's device.
+
+    This is the unit the :class:`repro.api.Planner` memoizes per
+    ``(gpu, work, stride)`` so mixed-cluster sweeps re-measure each
+    distinct (device, stage-slice) pair exactly once.
+    """
+    return sweep_frequencies(
+        ComputationEnergyModel(gpu), work, freq_stride=freq_stride,
+        noise=noise, rng=rng,
+    )
+
+
 def profile_pipeline(
     model_spec: ModelSpec,
     partition: PartitionResult,
-    gpu: GPUSpec,
+    gpu: GPULike,
     tensor_parallel: int = 1,
     freq_stride: int = 1,
     noise: float = 0.0,
@@ -93,16 +112,21 @@ def profile_pipeline(
     replicated (§4.4): we profile the per-GPU shard directly.
 
     Args:
+        gpu: One device for the whole pipeline, or a per-stage sequence
+            of devices (mixed cluster).  Each stage is swept over *its
+            own* frequency ladder and power curve; a heterogeneous
+            profile carries per-stage blocking powers.
         freq_stride: Subsample the frequency ladder (1 = full 15 MHz grid).
         noise: Multiplicative Gaussian measurement noise (0 = exact).
         seed: RNG seed for the noise.
     """
+    gpus = resolve_gpus(gpu, partition.num_stages)
     if tensor_parallel > 1:
         model_spec = model_spec.shard(tensor_parallel)
-    energy_model = ComputationEnergyModel(gpu)
     rng = np.random.default_rng(seed)
-    profile = PipelineProfile(p_blocking_w=gpu.blocking_w)
+    profile = PipelineProfile.for_devices(gpus)
     for stage, (fwd, bwd) in enumerate(stage_works(model_spec, partition)):
+        energy_model = ComputationEnergyModel(gpus[stage])
         for kind, work in (("forward", fwd), ("backward", bwd)):
             op = (stage, kind)
             op_profile = OpProfile(op=op)

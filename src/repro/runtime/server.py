@@ -87,7 +87,10 @@ class PerseusServer:
         The (memoized) planner assembles the DAG, the analytic profile
         and the auto-derived tau, then the usual ``submit_profile`` path
         kicks off frontier characterization -- asynchronously unless
-        ``blocking`` is set.
+        ``blocking`` is set.  Specs with a per-stage ``gpu`` tuple are
+        first-class: the mixed-cluster profile (per-stage ladders and
+        blocking powers) flows into characterization unchanged, so the
+        frontier the server deploys is the heterogeneous pipeline's own.
 
         The server *is* the Perseus frontier service: it characterizes
         and deploys frontier schedules, so a spec naming any other

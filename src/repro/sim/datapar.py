@@ -98,6 +98,7 @@ def run_with_straggler(
     straggler = execute(
         dag, slowed, powers, profile.p_blocking_w,
         freqs={r.node: r.freq_mhz for r in base.records},
+        stage_blocking_w=profile.stage_blocking_w,
     )
 
     executions = [straggler] + [normal] * (num_pipelines - 1)

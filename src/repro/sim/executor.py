@@ -44,12 +44,18 @@ class NodeExecution:
 
 @dataclass
 class PipelineExecution:
-    """Realized timeline + energy accounting of one pipeline iteration."""
+    """Realized timeline + energy accounting of one pipeline iteration.
+
+    ``stage_blocking_w`` carries per-stage blocking powers on mixed-GPU
+    pipelines; when absent, the scalar ``p_blocking_w`` applies to every
+    stage (the homogeneous accounting of Eq. 3).
+    """
 
     records: List[NodeExecution]
     iteration_time: float
     num_stages: int
     p_blocking_w: float
+    stage_blocking_w: Optional[Dict[int, float]] = None
     _by_stage: Dict[int, List[NodeExecution]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -61,6 +67,12 @@ class PipelineExecution:
 
     def stage_records(self, stage: int) -> List[NodeExecution]:
         return list(self._by_stage.get(stage, []))
+
+    def blocking_power(self, stage: int) -> float:
+        """``P_blocking`` of one stage's device (scalar fallback)."""
+        if self.stage_blocking_w is not None and stage in self.stage_blocking_w:
+            return self.stage_blocking_w[stage]
+        return self.p_blocking_w
 
     def stage_busy_time(self, stage: int) -> float:
         return sum(r.duration for r in self._by_stage.get(stage, []))
@@ -81,6 +93,12 @@ class PipelineExecution:
                 f"sync at {t_sync} precedes iteration end {self.iteration_time}"
             )
         stages = self.num_devices()
+        if self.stage_blocking_w is not None:
+            # Mixed cluster: each stage idles at its own device's draw.
+            return sum(
+                self.blocking_power(s) * (t_sync - self.stage_busy_time(s))
+                for s in range(stages)
+            )
         busy = sum(self.stage_busy_time(s) for s in self._by_stage)
         return self.p_blocking_w * (stages * t_sync - busy)
 
@@ -103,6 +121,7 @@ def execute(
     powers: Dict[int, float],
     p_blocking_w: float,
     freqs: Optional[Dict[int, int]] = None,
+    stage_blocking_w: Optional[Dict[int, float]] = None,
 ) -> PipelineExecution:
     """Run the DAG under realized durations/powers.
 
@@ -129,6 +148,7 @@ def execute(
         iteration_time=dag.iteration_time(durations),
         num_stages=dag.num_stages,
         p_blocking_w=p_blocking_w,
+        stage_blocking_w=stage_blocking_w,
     )
 
 
@@ -155,7 +175,8 @@ def execute_frequency_plan(
             m = op_profile.at_freq(freq_plan[n])
         durations[n] = m.time_s
         powers[n] = m.energy_j / m.time_s
-    return execute(dag, durations, powers, profile.p_blocking_w, freqs=freq_plan)
+    return execute(dag, durations, powers, profile.p_blocking_w,
+                   freqs=freq_plan, stage_blocking_w=profile.stage_blocking_w)
 
 
 def max_frequency_plan(dag: ComputationDag, profile: PipelineProfile) -> Dict[int, int]:

@@ -57,7 +57,7 @@ def extract_timeline(
                         label="",
                         start=cursor,
                         end=rec.start,
-                        power_w=execution.p_blocking_w,
+                        power_w=execution.blocking_power(stage),
                         kind="blocking",
                     )
                 )
@@ -84,7 +84,7 @@ def extract_timeline(
                     label="",
                     start=cursor,
                     end=horizon,
-                    power_w=execution.p_blocking_w,
+                    power_w=execution.blocking_power(stage),
                     kind="blocking",
                 )
             )

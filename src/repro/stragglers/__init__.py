@@ -1,8 +1,9 @@
-"""Straggler models: thermal throttling, I/O stalls, heterogeneous pipelines."""
+"""Straggler models: thermal throttling, I/O stalls, mixed hardware."""
 
 from .injection import (
     HeterogeneousPipeline,
     IOBottleneck,
+    SlowGPUType,
     ThermalThrottle,
     anticipated_t_prime,
 )
@@ -10,6 +11,7 @@ from .injection import (
 __all__ = [
     "HeterogeneousPipeline",
     "IOBottleneck",
+    "SlowGPUType",
     "ThermalThrottle",
     "anticipated_t_prime",
 ]

@@ -12,7 +12,7 @@ execution for simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from ..exceptions import SimulationError
 
@@ -88,6 +88,75 @@ class HeterogeneousPipeline:
 
     def distort_durations(self, durations: Dict[int, float]) -> Dict[int, float]:
         return {n: d * self.capacity_ratio for n, d in durations.items()}
+
+
+@dataclass(frozen=True)
+class SlowGPUType:
+    """A pipeline straggling because some stages run on slower silicon.
+
+    Unlike :class:`ThermalThrottle` / :class:`HeterogeneousPipeline` this
+    is *not* an injected distortion of a homogeneous execution: the mixed
+    pipeline is planned natively through a per-stage ``PlanSpec.gpu``
+    tuple (each slow stage profiled on its real ladder and power curve).
+    What this model contributes is the *anticipated degree* the
+    infrastructure reports to ``server.set_straggler`` for the job's
+    other, homogeneous pipelines: the ratio of the mixed pipeline's
+    all-max iteration time to the reference deployment's.
+
+    Build it with :meth:`from_spec`, which plans both pipelines on a
+    (shared, memoized) planner.
+    """
+
+    gpu_names: Tuple[str, ...]
+    reference_gpu: str
+    degree: float  # mixed all-max iteration time / reference's, >= 1.0
+
+    def __post_init__(self) -> None:
+        if len(set(self.gpu_names)) < 1:
+            raise SimulationError("mixed pipeline must name its GPUs")
+        if self.degree < 1.0:
+            raise SimulationError("slow-GPU degree must be >= 1.0")
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        reference_gpu: Optional[str] = None,
+        planner=None,
+    ) -> "SlowGPUType":
+        """Plan the mixed spec and its homogeneous reference; compare.
+
+        Args:
+            spec: A :class:`repro.api.PlanSpec` with a per-stage ``gpu``
+                tuple (a homogeneous spec yields degree 1.0).
+            reference_gpu: The intended deployment's GPU; defaults to
+                whichever GPU named in the mix gives the fastest
+                homogeneous pipeline.
+            planner: Shared :class:`repro.api.Planner` (profiles of the
+                reference candidates and the mix are all memoized).
+        """
+        from ..api.planner import default_planner
+
+        planner = planner or default_planner()
+        names = spec.gpu_names
+        if reference_gpu is None:
+            # dict.fromkeys: unique names in first-seen stage order, so
+            # ties break deterministically (a set would hash-order them).
+            reference_gpu = min(
+                dict.fromkeys(names),
+                key=lambda name: planner.baseline_execution(
+                    spec.replace(gpu=name)
+                ).iteration_time,
+            )
+        t_mixed = planner.baseline_execution(spec).iteration_time
+        t_ref = planner.baseline_execution(
+            spec.replace(gpu=reference_gpu)
+        ).iteration_time
+        return cls(
+            gpu_names=tuple(names),
+            reference_gpu=reference_gpu,
+            degree=max(1.0, t_mixed / t_ref),
+        )
 
 
 def anticipated_t_prime(degree: float, t_min: float) -> float:
