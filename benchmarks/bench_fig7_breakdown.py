@@ -7,7 +7,7 @@ and suboptimally.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import bench_planner, emit
 
 from repro.baselines.envpipe import envpipe_plan
 from repro.emulation.largescale import emulated_breakdown, prepare_emulation
@@ -31,7 +31,8 @@ def _run():
     for gpu_label, gpu in gpus:
         for model in ("gpt3-175b", "bloom-176b"):
             setup = prepare_emulation(model, gpu, _microbatches(),
-                                      freq_stride=8, step_target=120)
+                                      freq_stride=8, step_target=120,
+                                      planner=bench_planner())
             perseus = emulated_breakdown(setup, NUM_PIPELINES, SLOWDOWN)
             env = emulated_breakdown(
                 setup, NUM_PIPELINES, SLOWDOWN,

@@ -9,7 +9,7 @@ curve sits below the M=96 curve for these near-balanced huge models).
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import bench_planner, emit
 
 from repro.emulation.largescale import (
     emulated_straggler_savings,
@@ -31,7 +31,8 @@ def _rows_for(model):
     rows = []
     for cfg in configs:
         setup = prepare_emulation(model, A100_SXM, cfg.num_microbatches,
-                                  freq_stride=8, step_target=120)
+                                  freq_stride=8, step_target=120,
+                                  planner=bench_planner())
         series = [
             emulated_straggler_savings(setup, cfg.num_pipelines, s)
             for s in SLOWDOWNS

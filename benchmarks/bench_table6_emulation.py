@@ -11,7 +11,7 @@ Default runs M in {12, 24, 48} (the 8192/4096/2048-GPU rows); set
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import bench_planner, emit
 
 from repro.emulation.largescale import (
     emulated_intrinsic_savings,
@@ -63,7 +63,8 @@ def test_table6_intrinsic_vs_microbatches(benchmark):
             series = []
             for m in _m_values():
                 setup = prepare_emulation(model, gpu, m, freq_stride=8,
-                                          step_target=120)
+                                          step_target=120,
+                                          planner=bench_planner())
                 series.append(emulated_intrinsic_savings(setup))
             paper = PAPER[(model, label)][: len(series)]
             table.append([f"{model} ({label})"]

@@ -17,6 +17,32 @@ from repro.experiments.workloads import get_workload
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 
+#: Where figure reproductions persist partitions/profiles/frontiers.
+BENCH_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+    os.path.dirname(__file__), ".plan-cache"
+)
+
+_PLANNER = None
+
+
+def bench_planner():
+    """The benchmark harness's store-backed planner (created lazily).
+
+    Benchmarks warm-start: the first run fills ``benchmarks/.plan-cache``
+    (or ``REPRO_CACHE_DIR``), and later runs -- or other bench files
+    touching the same workloads -- reuse everything with zero
+    re-profiling.  Deliberately *not* the process-wide default planner
+    and not an environment default: a plain ``pytest`` run that merely
+    collects this directory must leave the unit-test suite hermetic, so
+    the store only exists once a benchmark actually plans something.
+    """
+    global _PLANNER
+    if _PLANNER is None:
+        from repro.api import Planner
+
+        _PLANNER = Planner(cache=BENCH_CACHE_DIR)
+    return _PLANNER
+
 _SETUPS: Dict[str, ExperimentSetup] = {}
 
 
@@ -36,10 +62,12 @@ def _fresh_results_file():
 
 
 def setup_for(workload_key: str, **kwargs) -> ExperimentSetup:
-    """Session-cached experiment setup (frontier computed once)."""
+    """Session-cached experiment setup (frontier computed once, and
+    persisted in the benchmark plan store across runs)."""
     key = f"{workload_key}|{sorted(kwargs.items())}"
     if key not in _SETUPS:
-        _SETUPS[key] = prepare(get_workload(workload_key), **kwargs)
+        _SETUPS[key] = prepare(get_workload(workload_key),
+                               planner=bench_planner(), **kwargs)
     return _SETUPS[key]
 
 

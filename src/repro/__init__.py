@@ -26,8 +26,11 @@ Quickstart -- one spec, one planner, any strategy::
 
 The planner memoizes each pipeline stage (model, partition, profile,
 DAG, frontier) on the spec fields that determine it, so sweeping
-strategies or microbatch counts never re-profiles.  New schedulers plug
-in via ``@repro.api.register_strategy("name")`` -- see
+strategies or microbatch counts never re-profiles.  Memoization sits on
+pluggable cache backends: pass ``Planner(cache="some/dir")`` (or set
+``REPRO_CACHE_DIR``) and the artifacts persist *across processes* in a
+content-addressed plan store -- see ``docs/planner-cache.md``.  New
+schedulers plug in via ``@repro.api.register_strategy("name")`` -- see
 :mod:`repro.api.strategies`.
 
 :func:`plan_pipeline` is the deprecated one-call predecessor of this

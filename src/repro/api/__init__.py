@@ -9,8 +9,12 @@ This package is the single front door to the Perseus planning pipeline:
 * :func:`register_strategy` / :func:`get_strategy` /
   :func:`list_strategies` -- the pluggable strategy registry under which
   Perseus and every baseline expose one ``plan(ctx)`` signature.
-* :func:`sweep` -- batch specs into comparable :class:`PlanReport` rows;
+* :func:`sweep` -- batch specs into comparable :class:`PlanReport` rows
+  (``jobs`` for a worker pool, per-spec error isolation by default);
   :func:`mixed_cluster_specs` expands a GPU pool into one spec per mix.
+* :class:`PlanStore` / :class:`MemoryCache` -- pluggable cache backends
+  behind the planner; a store directory (or ``REPRO_CACHE_DIR``)
+  persists partitions, profiles and frontiers across processes.
 
 Quickstart::
 
@@ -22,7 +26,9 @@ Quickstart::
         print(name, report.iteration_time_s, report.energy_j)
 """
 
+from ..core.store import CacheBackend, MemoryCache, PlanStore
 from .planner import (
+    CACHE_DIR_ENV,
     DEFAULT_STEP_TARGET,
     PlanReport,
     PlanResult,
@@ -44,8 +50,12 @@ from .strategies import (
 )
 
 __all__ = [
+    "CACHE_DIR_ENV",
+    "CacheBackend",
     "DEFAULT_STEP_TARGET",
     "FIDELITY_STRIDES",
+    "MemoryCache",
+    "PlanStore",
     "FrequencyPlan",
     "PlanContext",
     "PlanReport",

@@ -12,7 +12,18 @@ sweep over strategies or microbatch counts profiles each unique
 (model, gpu, partition) exactly once and characterizes each unique
 (dag, profile, tau) frontier exactly once.
 
-:func:`sweep` batches specs through a shared planner and returns
+Memoization lives behind a pluggable
+:class:`~repro.core.store.CacheBackend`: the default is the in-process
+:class:`~repro.core.store.MemoryCache`; pass a directory (or a
+:class:`~repro.core.store.PlanStore`) and partitions, profiles,
+per-stage sweeps, taus and characterized frontiers additionally persist
+across processes, content-addressed by stable hashes of the spec
+sub-keys.  Setting ``REPRO_CACHE_DIR`` attaches such a store to the
+process-wide :func:`default_planner`, so the CLI, the experiment runner
+and the benchmarks all warm-start from the same artifacts.
+
+:func:`sweep` batches specs through a shared planner -- optionally on a
+worker pool (``jobs``) with per-spec error isolation -- and returns
 comparable :class:`PlanReport` rows; :func:`auto_tau` derives the
 frontier granularity from the achievable time span (moved here from
 ``repro.experiments.runner`` so the package root no longer reaches into
@@ -22,13 +33,18 @@ the experiments layer).
 from __future__ import annotations
 
 import itertools
+import math
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.frontier import Frontier
 from ..core.optimizer import PerseusOptimizer
-from ..exceptions import ConfigurationError
-from ..gpu.specs import GPULike, GPUSpec, is_homogeneous, resolve_gpus
+from ..core.store import MISS, CacheBackend, as_backend, stable_key
+from ..exceptions import ConfigurationError, ReproError
+from ..gpu.specs import GPULike, GPUSpec, get_gpu, is_homogeneous, resolve_gpus
 from ..models.layers import ModelSpec
 from ..models.registry import build_model
 from ..partition.algorithms import PartitionResult, partition_model
@@ -51,6 +67,10 @@ from .strategies import FrequencyPlan, PlanContext, get_strategy
 
 #: Target number of frontier steps when tau is derived automatically.
 DEFAULT_STEP_TARGET = 250
+
+#: Environment variable naming the persistent plan-store directory the
+#: process-wide :func:`default_planner` attaches (unset = memory only).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 def _canonical_gpu_key(gpus: Tuple[GPUSpec, ...]):
@@ -99,6 +119,9 @@ class PlanResult:
     #: One resolved spec per stage; ``gpu`` stays the first stage's device
     #: for legacy consumers (identical to it on homogeneous pipelines).
     gpus: Tuple[GPUSpec, ...] = ()
+    #: The raw cache keys each stage was memoized under (namespace ->
+    #: tuple key); what ties a stack back to its store entries.
+    keys: Dict[str, tuple] = field(default_factory=dict, repr=False)
 
     @property
     def frontier(self) -> Frontier:
@@ -127,6 +150,10 @@ class PlanReport:
     Energies are Eq. 3 totals at each plan's own iteration horizon; the
     baseline is the all-max-frequency plan on the same profile, matching
     how every savings number in the paper is reported (§6.1).
+
+    A row may instead record a per-spec *failure* (``error`` set, scalar
+    fields NaN): sweeps isolate configuration errors so one bad spec
+    does not abort a 200-spec batch.
     """
 
     spec: PlanSpec
@@ -142,6 +169,26 @@ class PlanReport:
     execution: Optional[PipelineExecution] = field(
         default=None, repr=False, hash=False, compare=False
     )
+    #: Why this spec failed (None on success).
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, spec: PlanSpec, error: BaseException) -> "PlanReport":
+        """An error row: same shape as a report, scalars NaN."""
+        nan = float("nan")
+        return cls(
+            spec=spec,
+            strategy=spec.strategy,
+            iteration_time_s=nan,
+            energy_j=nan,
+            baseline_time_s=nan,
+            baseline_energy_j=nan,
+            error=f"{type(error).__name__}: {error}",
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def energy_savings_pct(self) -> float:
@@ -152,7 +199,14 @@ class PlanReport:
         return 100.0 * (self.iteration_time_s / self.baseline_time_s - 1.0)
 
     def to_dict(self) -> dict:
-        """Flat JSON-ready row (spec inlined, plan omitted)."""
+        """Flat JSON-ready row (spec inlined, plan omitted).
+
+        Failure rows carry NaN scalars, which strict JSON cannot
+        represent -- they serialize as ``None``/``null`` here.
+        """
+        def num(value: float) -> Optional[float]:
+            return value if math.isfinite(value) else None
+
         return {
             "model": self.spec.model,
             "gpu": (self.spec.gpu if isinstance(self.spec.gpu, str)
@@ -160,12 +214,13 @@ class PlanReport:
             "stages": self.spec.stages,
             "microbatches": self.spec.microbatches,
             "strategy": self.strategy,
-            "iteration_time_s": self.iteration_time_s,
-            "energy_j": self.energy_j,
-            "baseline_time_s": self.baseline_time_s,
-            "baseline_energy_j": self.baseline_energy_j,
-            "energy_savings_pct": self.energy_savings_pct,
-            "slowdown_pct": self.slowdown_pct,
+            "iteration_time_s": num(self.iteration_time_s),
+            "energy_j": num(self.energy_j),
+            "baseline_time_s": num(self.baseline_time_s),
+            "baseline_energy_j": num(self.baseline_energy_j),
+            "energy_savings_pct": num(self.energy_savings_pct),
+            "slowdown_pct": num(self.slowdown_pct),
+            "error": self.error,
         }
 
 
@@ -173,31 +228,43 @@ class Planner:
     """Runs the staged planning pipeline with per-stage memoization.
 
     Every ``_build_*`` stage is keyed on exactly the spec fields it
-    depends on; ``stats`` counts the cache *misses* per stage, which is
-    what tests and the §6.5-style overhead accounting observe.
+    depends on; ``stats`` counts the cache *misses* per stage -- i.e.
+    the expensive work actually performed in this process -- which is
+    what tests, the §6.5-style overhead accounting and the CI
+    persistence guard observe.  ``stats["frontier"]`` counts frontier
+    characterizations; a warm persistent store keeps every counter at
+    zero on a repeat run.
+
+    ``cache`` is ``None`` (private in-memory tier), a directory path
+    (content-addressed persistent :class:`~repro.core.store.PlanStore`)
+    or any :class:`~repro.core.store.CacheBackend` (shared stores).
     """
 
-    def __init__(self) -> None:
-        self._models: Dict[tuple, ModelSpec] = {}
-        self._partitions: Dict[tuple, PartitionResult] = {}
-        self._profiles: Dict[tuple, PipelineProfile] = {}
-        self._stage_sweeps: Dict[tuple, list] = {}
-        self._dags: Dict[tuple, ComputationDag] = {}
-        self._taus: Dict[tuple, float] = {}
-        self._optimizers: Dict[tuple, PerseusOptimizer] = {}
-        self._baselines: Dict[tuple, PipelineExecution] = {}
+    def __init__(self, cache: Union[None, str, os.PathLike,
+                                    CacheBackend] = None) -> None:
+        self._cache = as_backend(cache)
+        #: Optimizer keys whose frontier is already in the backend.
+        self._frontier_synced: set = set()
+        #: Guards the synced set + frontier stat (characterization hooks
+        #: may fire from a server worker thread).
+        self._sync_lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "model": 0, "partition": 0, "profile": 0, "stage_profile": 0,
-            "dag": 0, "tau": 0, "optimizer": 0,
+            "dag": 0, "tau": 0, "optimizer": 0, "frontier": 0,
         }
+
+    @property
+    def cache(self) -> CacheBackend:
+        """The backend behind the memo tables (counters, store root)."""
+        return self._cache
 
     def clear(self) -> None:
         """Drop every memoized stage (long-lived processes: call between
-        unrelated job batches to release profiles and frontiers)."""
-        for cache in (self._models, self._partitions, self._profiles,
-                      self._stage_sweeps, self._dags, self._taus,
-                      self._optimizers, self._baselines):
-            cache.clear()
+        unrelated job batches to release profiles and frontiers).  On a
+        persistent store this drops the memory tier only; disk entries
+        are durable by design."""
+        self._cache.clear()
+        self._frontier_synced.clear()
 
     # -- staged builders (each memoized on its own key) ----------------------
     @staticmethod
@@ -210,14 +277,26 @@ class Planner:
         """See :func:`_canonical_gpu_key` (the one collapse rule)."""
         return _canonical_gpu_key(gpus)
 
+    def _memo(self, namespace: str, key, stat: Optional[str], build):
+        """One staged build: backend lookup, else compute and store.
+
+        ``stat`` names the miss counter to bump when the build actually
+        runs (a *disk* hit therefore bumps nothing: no work was done).
+        """
+        value = self._cache.get(namespace, key)
+        if value is MISS:
+            if stat is not None:
+                self.stats[stat] += 1
+            value = build()
+            self._cache.put(namespace, key, value)
+        return value
+
     def _build_model(
         self, name: str, microbatch_size: Optional[int]
     ) -> ModelSpec:
         key = (name, microbatch_size)
-        if key not in self._models:
-            self.stats["model"] += 1
-            self._models[key] = build_model(name, microbatch_size)
-        return self._models[key]
+        return self._memo("model", key, "model",
+                          lambda: build_model(name, microbatch_size))
 
     def _build_partition(
         self,
@@ -227,18 +306,21 @@ class Planner:
         gpus: Tuple[GPUSpec, ...],
         microbatch_size: Optional[int],
     ) -> PartitionResult:
-        # Keyed on the GPUSpec value itself (frozen dataclass), not its
-        # name: a custom spec reusing a registry name must not collide.
-        # The canonical form collapses homogeneous per-stage tuples, so a
-        # homogeneous list shares the single-name spec's cache entry.
-        key = (model.name, microbatch_size, stages, canonical_gpu)
-        if key not in self._partitions:
-            self.stats["partition"] += 1
-            self._partitions[key] = partition_model(
+        # Keyed on the ModelSpec and GPUSpec *values* (frozen
+        # dataclasses), not their names: a custom spec reusing a registry
+        # name must not collide, and an edited model-zoo definition must
+        # invalidate persisted partitions/profiles rather than serve
+        # stale ones.  The canonical GPU form collapses homogeneous
+        # per-stage tuples, so a homogeneous list shares the single-name
+        # spec's cache entry.
+        key = (model, microbatch_size, stages, canonical_gpu)
+        return self._memo(
+            "partition", key, "partition",
+            lambda: partition_model(
                 model, stages,
                 gpus[0] if isinstance(canonical_gpu, GPUSpec) else gpus,
-            )
-        return self._partitions[key]
+            ),
+        )
 
     def _build_profile(
         self,
@@ -252,10 +334,10 @@ class Planner:
         seed: int,
     ) -> PipelineProfile:
         key = partition_key + (tensor_parallel, freq_stride, noise, seed)
-        if key not in self._profiles:
-            self.stats["profile"] += 1
+
+        def build() -> PipelineProfile:
             if is_homogeneous(gpus):
-                self._profiles[key] = profile_pipeline(
+                return profile_pipeline(
                     model,
                     partition,
                     gpus[0],
@@ -264,10 +346,10 @@ class Planner:
                     noise=noise,
                     seed=seed,
                 )
-            elif noise:
+            if noise:
                 # Noisy sweeps draw from one shared RNG stream; per-stage
                 # caching would replay it, so profile the pipeline whole.
-                self._profiles[key] = profile_pipeline(
+                return profile_pipeline(
                     model,
                     partition,
                     gpus,
@@ -276,11 +358,11 @@ class Planner:
                     noise=noise,
                     seed=seed,
                 )
-            else:
-                self._profiles[key] = self._compose_hetero_profile(
-                    model, partition, gpus, tensor_parallel, freq_stride
-                )
-        return self._profiles[key]
+            return self._compose_hetero_profile(
+                model, partition, gpus, tensor_parallel, freq_stride
+            )
+
+        return self._memo("profile", key, "profile", build)
 
     def _compose_hetero_profile(
         self,
@@ -303,26 +385,26 @@ class Planner:
         for stage, (fwd, bwd) in enumerate(stage_works(sharded, partition)):
             for kind, work in (("forward", fwd), ("backward", bwd)):
                 sweep_key = (gpus[stage], work, freq_stride)
-                if sweep_key not in self._stage_sweeps:
-                    self.stats["stage_profile"] += 1
-                    self._stage_sweeps[sweep_key] = profile_stage_measurements(
-                        gpus[stage], work, freq_stride=freq_stride
-                    )
+                measurements = self._memo(
+                    "stage_sweep", sweep_key, "stage_profile",
+                    lambda gpu=gpus[stage], work=work:
+                        profile_stage_measurements(
+                            gpu, work, freq_stride=freq_stride
+                        ),
+                )
                 op = (stage, kind)
                 profile.ops[op] = OpProfile(
-                    op=op, measurements=list(self._stage_sweeps[sweep_key])
+                    op=op, measurements=list(measurements)
                 )
         profile.validate()
         return profile
 
     def _build_dag(self, stages: int, microbatches: int) -> ComputationDag:
         key = (stages, microbatches)
-        if key not in self._dags:
-            self.stats["dag"] += 1
-            self._dags[key] = build_pipeline_dag(
-                schedule_1f1b(stages, microbatches)
-            )
-        return self._dags[key]
+        return self._memo(
+            "dag", key, "dag",
+            lambda: build_pipeline_dag(schedule_1f1b(stages, microbatches)),
+        )
 
     def _baseline_for(
         self,
@@ -332,11 +414,12 @@ class Planner:
         profile: PipelineProfile,
     ) -> PipelineExecution:
         key = (dag_key, profile_key)
-        if key not in self._baselines:
-            self._baselines[key] = execute_frequency_plan(
+        return self._memo(
+            "baseline", key, None,
+            lambda: execute_frequency_plan(
                 dag, max_frequency_plan(dag, profile), profile
-            )
-        return self._baselines[key]
+            ),
+        )
 
     def _resolve_tau(
         self,
@@ -350,8 +433,8 @@ class Planner:
         if tau is not None:
             return tau
         key = (dag_key, profile_key, step_target)
-        if key not in self._taus:
-            self.stats["tau"] += 1
+
+        def build() -> float:
             # Same span computation as auto_tau(), but the max-frequency
             # endpoint comes from (and warms) the shared baseline cache.
             fast = self._baseline_for(dag_key, profile_key, dag, profile)
@@ -359,8 +442,9 @@ class Planner:
                 dag, min_energy_plan(dag, profile), profile
             )
             span = max(slow.iteration_time - fast.iteration_time, 1e-6)
-            self._taus[key] = span / step_target
-        return self._taus[key]
+            return span / step_target
+
+        return self._memo("tau", key, "tau", build)
 
     def _build_optimizer(
         self,
@@ -371,12 +455,36 @@ class Planner:
         profile: PipelineProfile,
     ) -> PerseusOptimizer:
         key = (dag_key, profile_key, tau)
-        if key not in self._optimizers:
-            self.stats["optimizer"] += 1
-            self._optimizers[key] = PerseusOptimizer(
-                dag=dag, profile=profile, tau=tau
+
+        def build() -> PerseusOptimizer:
+            # A persisted frontier seeds the optimizer pre-characterized:
+            # the expensive crawl never reruns in a warm process.
+            frontier = self._cache.get("frontier", key)
+            if frontier is not MISS:
+                self._frontier_synced.add(key)
+                return PerseusOptimizer(
+                    dag=dag, profile=profile, tau=tau, _frontier=frontier
+                )
+            optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
+            # Characterization is lazy and may be forced by *any* caller
+            # holding the stack (experiments, benchmarks, emulation) --
+            # the hook records it with the backend the moment it lands,
+            # so persistent stores capture frontiers from every path.
+            optimizer.on_characterized = (
+                lambda frontier: self._record_frontier(key, frontier)
             )
-        return self._optimizers[key]
+            return optimizer
+
+        return self._memo("optimizer", key, "optimizer", build)
+
+    def _record_frontier(self, key: tuple, frontier: Frontier) -> None:
+        """Count and persist one freshly characterized frontier."""
+        with self._sync_lock:
+            if key in self._frontier_synced:
+                return
+            self._frontier_synced.add(key)
+            self.stats["frontier"] += 1
+        self._cache.put("frontier", key, frontier)
 
     # -- assembly ------------------------------------------------------------
     def build_stack(
@@ -404,7 +512,7 @@ class Planner:
         gpus = self._resolve(gpu, stages)
         gpu_key = self._canonical(gpus)
         model_spec = self._build_model(model, microbatch_size)
-        partition_key = (model_spec.name, microbatch_size, stages, gpu_key)
+        partition_key = (model_spec, microbatch_size, stages, gpu_key)
         partition = self._build_partition(
             model_spec, stages, gpu_key, gpus, microbatch_size
         )
@@ -430,6 +538,12 @@ class Planner:
             dag=dag,
             optimizer=optimizer,
             gpus=gpus,
+            keys={
+                "partition": partition_key,
+                "profile": profile_key,
+                "dag": dag_key,
+                "optimizer": (dag_key, profile_key, tau),
+            },
         )
 
     def result(self, spec: PlanSpec) -> PlanResult:
@@ -444,6 +558,27 @@ class Planner:
             freq_stride=spec.effective_freq_stride,
             tau=spec.tau,
         )
+
+    def cache_keys(self, spec: PlanSpec) -> Dict[str, str]:
+        """The spec's content-addressed cache keys (hex digests).
+
+        ``partition``, ``profile`` and ``frontier`` are the addresses a
+        :class:`PlanStore` files this spec's artifacts under
+        (``<root>/<namespace>/<digest>.json``); ``dag`` is memoized in
+        memory only and included for completeness.  (Auto-derived taus
+        and mixed-cluster per-stage sweeps persist too, but under keys
+        that are not 1:1 with a spec.)  Equal specs -- v1 vs v2
+        payloads, a homogeneous GPU tuple vs the single name -- map to
+        equal keys, which is the property that guarantees bit-for-bit
+        plan reuse.  Builds the stack as a side effect (memoized like
+        any other call).
+        """
+        stack = self.result(spec)
+        named = dict(stack.keys)
+        # The frontier is filed under the optimizer's (dag, profile,
+        # tau) key -- surface it by its on-disk namespace.
+        named["frontier"] = named.pop("optimizer")
+        return {ns: stable_key(key) for ns, key in named.items()}
 
     def context(
         self, spec: PlanSpec, straggler_time: Optional[float] = None
@@ -466,13 +601,17 @@ class Planner:
         max-frequency plan themselves.
         """
         stack = self.result(spec)
-        partition_key = (stack.model.name, spec.microbatch_size,
-                         spec.stages, stack.canonical_gpu)
-        profile_key = partition_key + (spec.tensor_parallel,
-                                       spec.effective_freq_stride, 0.0, 0)
-        dag_key = (spec.stages, spec.microbatches)
-        return self._baseline_for(dag_key, profile_key, stack.dag,
-                                  stack.profile)
+        return self._baseline_for(stack.keys["dag"], stack.keys["profile"],
+                                  stack.dag, stack.profile)
+
+    def frontier_for(self, spec: PlanSpec) -> Frontier:
+        """The spec's characterized frontier (computed or store-loaded).
+
+        Forces characterization; the result lands in the cache backend
+        (via the optimizer's ``on_characterized`` hook), so with a
+        persistent store the crawl happens in exactly one process ever.
+        """
+        return self.result(spec).optimizer.frontier
 
     # -- planning ------------------------------------------------------------
     def plan(
@@ -503,9 +642,106 @@ class Planner:
             execution=execution,
         )
 
-    def sweep(self, specs: Iterable[PlanSpec]) -> List[PlanReport]:
-        """Plan every spec, sharing all memoized stages, in input order."""
-        return [self.plan(spec) for spec in specs]
+    def _plan_row(self, spec: PlanSpec, errors: str) -> PlanReport:
+        """One sweep row with per-spec error isolation.
+
+        Expected failures (:class:`ReproError`: unknown model/GPU/
+        strategy, invalid configuration) become error rows; anything
+        else is a bug and propagates.
+        """
+        try:
+            return self.plan(spec)
+        except ReproError as exc:
+            if errors == "raise":
+                raise
+            return PlanReport.failure(spec, exc)
+
+    def sweep(
+        self,
+        specs: Iterable[PlanSpec],
+        jobs: Optional[int] = None,
+        errors: str = "report",
+    ) -> List[PlanReport]:
+        """Plan every spec, sharing all memoized stages, in input order.
+
+        ``jobs > 1`` runs the batch on a worker pool: each worker gets a
+        private planner over a snapshot view of this planner's cache
+        (sharing any persistent store), and the workers' results merge
+        back when the pool drains -- so the sweep's artifacts stay
+        available to later calls, exactly as in serial mode.
+
+        ``errors="report"`` (default) isolates per-spec failures as
+        error rows (``report.error`` set, scalars NaN) instead of
+        aborting the batch; ``errors="raise"`` restores fail-fast.
+        """
+        if errors not in ("report", "raise"):
+            raise ConfigurationError(
+                f"errors must be 'report' or 'raise', got {errors!r}"
+            )
+        spec_list = list(specs)
+        if jobs is None or jobs <= 1 or len(spec_list) <= 1:
+            return [self._plan_row(spec, errors) for spec in spec_list]
+        return self._sweep_parallel(spec_list, jobs, errors)
+
+    @staticmethod
+    def _stack_signature(spec: PlanSpec) -> tuple:
+        """The profile-determining spec sub-key (the expensive stack).
+
+        GPU names resolve to canonical specs so alias spellings (a
+        homogeneous tuple vs the single name, ``"a100"`` vs
+        ``"a100-pcie"``) group together; a spec whose GPUs cannot
+        resolve keeps its raw spelling and errors inside its worker.
+        """
+        try:
+            gpu = _canonical_gpu_key(resolve_gpus(spec.gpu, spec.stages))
+        except ReproError:
+            gpu = spec.gpu if isinstance(spec.gpu, str) else tuple(spec.gpu)
+        return (spec.model, gpu, spec.stages, spec.microbatch_size,
+                spec.tensor_parallel, spec.effective_freq_stride)
+
+    def _sweep_parallel(
+        self, specs: List[PlanSpec], jobs: int, errors: str
+    ) -> List[PlanReport]:
+        # Workers plan on snapshot-isolated cache views, so two workers
+        # handed specs sharing a stack would each profile it.  Group by
+        # the profile-determining sub-key and keep every group on one
+        # worker (largest groups placed first, onto the least-loaded
+        # worker): the expensive work parallelizes across *stacks* and
+        # is never duplicated within one.
+        groups: Dict[tuple, List[int]] = {}
+        for index, spec in enumerate(specs):
+            groups.setdefault(self._stack_signature(spec), []).append(index)
+        chunks: List[List[int]] = [[] for _ in range(min(jobs, len(groups)))]
+        for indices in sorted(groups.values(), key=len, reverse=True):
+            min(chunks, key=len).extend(indices)
+        workers = [Planner(cache=self._cache.worker_view())
+                   for _ in chunks]
+
+        def run(worker: "Planner", indices: List[int]):
+            return [worker._plan_row(specs[i], errors) for i in indices]
+
+        results: List[Optional[PlanReport]] = [None] * len(specs)
+        with ThreadPoolExecutor(max_workers=len(workers)) as pool:
+            futures = [pool.submit(run, worker, chunk)
+                       for worker, chunk in zip(workers, chunks)]
+            for chunk, future in zip(chunks, futures):
+                for index, report in zip(chunk, future.result()):
+                    results[index] = report
+        for worker in workers:
+            self._cache.merge(worker._cache)
+            self._frontier_synced.update(worker._frontier_synced)
+            for stat, count in worker.stats.items():
+                self.stats[stat] += count
+        # Worker-built optimizers captured *their* planner's recorder;
+        # rebind any still-lazy ones so a post-sweep characterization
+        # lands in this planner's backend, not a discarded worker's.
+        for key, optimizer in self._cache.items("optimizer"):
+            if not optimizer.is_characterized:
+                optimizer.on_characterized = (
+                    lambda frontier, key=key:
+                        self._record_frontier(key, frontier)
+                )
+        return results  # type: ignore[return-value]
 
 
 _DEFAULT_PLANNER: Optional[Planner] = None
@@ -516,25 +752,38 @@ def default_planner() -> Planner:
 
     Its caches live for the life of the process; long-running services
     planning many unrelated jobs should call :meth:`Planner.clear`
-    between batches (or use private ``Planner()`` instances).
+    between batches (or use private ``Planner()`` instances).  If
+    ``REPRO_CACHE_DIR`` is set when the planner is first created, a
+    persistent :class:`~repro.core.store.PlanStore` is attached there,
+    so repeat runs (experiments, benchmarks, CLI invocations) reuse each
+    other's partitions, profiles and frontiers.
     """
     global _DEFAULT_PLANNER
     if _DEFAULT_PLANNER is None:
-        _DEFAULT_PLANNER = Planner()
+        # An empty value disables persistence (memory-only planner).
+        _DEFAULT_PLANNER = Planner(
+            cache=os.environ.get(CACHE_DIR_ENV) or None
+        )
     return _DEFAULT_PLANNER
 
 
 def sweep(
-    specs: Iterable[PlanSpec], planner: Optional[Planner] = None
+    specs: Iterable[PlanSpec],
+    planner: Optional[Planner] = None,
+    jobs: Optional[int] = None,
+    errors: str = "report",
 ) -> List[PlanReport]:
     """Batch-plan specs on a shared planner; one comparable row each.
 
     Specs differing only in strategy (or microbatch count, or tau) share
     profiling work; mixed-GPU specs additionally share per-stage sweeps
     wherever a stage's (device, workload) pair repeats.  Pass an explicit
-    ``planner`` to isolate caches.
+    ``planner`` to isolate caches, ``jobs`` for a worker pool, and
+    ``errors="raise"`` to fail fast instead of reporting per-spec
+    errors.
     """
-    return (planner or default_planner()).sweep(specs)
+    return (planner or default_planner()).sweep(specs, jobs=jobs,
+                                                errors=errors)
 
 
 def mixed_cluster_specs(
@@ -544,9 +793,12 @@ def mixed_cluster_specs(
     """Cartesian mixed-cluster expansion of one spec: one spec per GPU mix.
 
     ``stage_gpus`` is either a flat pool of GPU names (every stage may
-    take any of them) or one candidate list per stage.  The result
-    enumerates the cartesian product in stage order; feed it straight to
-    :func:`sweep`, which shares per-stage profiling across mixes::
+    take any of them) or one candidate list per stage.  Every name is
+    validated eagerly against the device registry -- a typo fails here,
+    listing the known specs, rather than deep inside ``resolve_gpus``
+    after part of the sweep already ran.  The result enumerates the
+    cartesian product in stage order; feed it straight to :func:`sweep`,
+    which shares per-stage profiling across mixes::
 
         specs = mixed_cluster_specs(PlanSpec("gpt3-xl"), ["a100", "a40"])
         rows = sweep(specs)   # 2**4 mixes, far fewer unique stage sweeps
@@ -572,6 +824,14 @@ def mixed_cluster_specs(
                 f"need one GPU candidate list per stage: got "
                 f"{len(per_stage)} for {base.stages} stages"
             )
+    for stage, choices in enumerate(per_stage):
+        for name in choices:
+            try:
+                get_gpu(name)
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"stage {stage} candidate {name!r}: {exc}"
+                ) from exc
     return [
         base.replace(gpu=mix)
         for mix in itertools.product(*per_stage)

@@ -8,6 +8,12 @@ Commands:
 * ``compare``   -- run **every** registered strategy over one shared
   profile and tabulate iteration time, energy, savings and slowdown --
   one row per strategy (see ``repro.api.list_strategies``).
+* ``sweep``     -- batch-plan many specs (strategy lists, mixed-cluster
+  GPU pools, or a JSON manifest) with per-spec error isolation.
+  ``--jobs`` runs a worker pool, ``--cache-dir`` persists partitions /
+  profiles / frontiers across invocations (second run: zero
+  re-profiling), ``--format json|csv`` + ``--output`` export the
+  report rows.
 * ``timeline``  -- render the Figure-1 style before/after timelines for
   the chosen ``--strategy``.
 * ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
@@ -31,6 +37,11 @@ Exit codes follow a two-value convention:
   unknown model/GPU/strategy, malformed input file); the message is
   printed to stderr.  Unexpected internal failures propagate as
   tracebacks, which is deliberate: they are bugs, not usage errors.
+* ``3`` -- ``sweep`` only: the batch ran, but at least one spec failed
+  (its row carries the error); the healthy rows are still reported.
+
+Setting ``REPRO_CACHE_DIR`` gives every command a persistent plan
+store, exactly as if ``--cache-dir`` were passed where supported.
 """
 
 from __future__ import annotations
@@ -39,11 +50,15 @@ import argparse
 import sys
 from typing import List, Optional
 
+import json
+
 from .api import (
+    Planner,
     PlanSpec,
     default_planner,
     get_strategy,
     list_strategies,
+    mixed_cluster_specs,
     strategy_description,
 )
 from .core.serialization import load_json, save_json
@@ -54,8 +69,13 @@ from .models.registry import list_models
 from .viz.timeline_ascii import render_comparison
 
 
-def _add_plan_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("model", help="model zoo variant, e.g. gpt3-xl")
+def _add_plan_args(p: argparse.ArgumentParser,
+                   model_optional: bool = False) -> None:
+    if model_optional:
+        p.add_argument("model", nargs="?", default=None,
+                       help="model zoo variant (omit when using --specs)")
+    else:
+        p.add_argument("model", help="model zoo variant, e.g. gpt3-xl")
     p.add_argument("--gpu", default="a100",
                    help="GPU name/alias, or a comma-separated per-stage "
                         "list (e.g. a100,a100,a40,a40) for a mixed "
@@ -107,7 +127,9 @@ def cmd_plan(args) -> int:
     print(f"partition  : {list(stack.partition.boundaries)} "
           f"(imbalance {stack.partition.ratio:.2f})")
     if spec.strategy == "perseus" or args.output:
-        frontier = stack.frontier
+        # frontier_for (not stack.frontier) so a persistent store, if
+        # attached via REPRO_CACHE_DIR, records the characterization.
+        frontier = planner.frontier_for(spec)
         print(f"frontier   : {len(frontier.points)} schedules, "
               f"T_min={frontier.t_min:.4f}s, T*={frontier.t_star:.4f}s")
         print(f"optimizer  : {frontier.steps} steps, "
@@ -148,6 +170,116 @@ def cmd_compare(args) -> int:
               f"(shared profile; savings vs all-max)",
     ))
     return 0
+
+
+def _load_manifest(path: str) -> List[PlanSpec]:
+    """Specs from a JSON manifest: a list of ``plan_spec`` payloads or
+    an object with a ``specs`` list (a sweep's sidecar manifest)."""
+    try:
+        with open(path, encoding="utf-8") as fp:
+            payload = json.load(fp)
+    except OSError as exc:
+        raise ReproError(f"cannot read manifest {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        payload = payload.get("specs")
+    if not isinstance(payload, list) or not payload:
+        raise ReproError(
+            f"{path}: a sweep manifest is a non-empty JSON list of "
+            f"plan_spec payloads (or an object with a 'specs' list)"
+        )
+    return [PlanSpec.from_dict(entry) for entry in payload]
+
+
+def _sweep_specs(args) -> List[PlanSpec]:
+    """Expand CLI flags (or a manifest) into the batch to plan."""
+    if args.specs:
+        return _load_manifest(args.specs)
+    if not args.model:
+        raise ReproError("sweep needs a model (or --specs MANIFEST)")
+    base = _spec_of(args, strategy="perseus")
+    if args.strategies == "all":
+        strategies = list_strategies()
+    else:
+        strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+        if not strategies:
+            raise ReproError("--strategies must name at least one strategy")
+    specs: List[PlanSpec] = []
+    for name in strategies:
+        with_strategy = base.replace(strategy=name)
+        if args.gpu_pool:
+            pool = [g.strip() for g in args.gpu_pool.split(",") if g.strip()]
+            specs.extend(mixed_cluster_specs(with_strategy, pool))
+        else:
+            specs.append(with_strategy)
+    return specs
+
+
+def _write_report(fp, rows, fmt: str) -> None:
+    dicts = [r.to_dict() for r in rows]
+    if fmt == "json":
+        json.dump(dicts, fp, indent=2)
+        fp.write("\n")
+    else:
+        from .experiments.export import write_series
+
+        headers = list(dicts[0].keys())
+        write_series(fp, headers, ([d[h] for h in headers] for d in dicts))
+
+
+def cmd_sweep(args) -> int:
+    specs = _sweep_specs(args)
+    planner = Planner(cache=args.cache_dir) if args.cache_dir \
+        else default_planner()
+    rows = planner.sweep(specs, jobs=args.jobs, errors="report")
+    # A machine format on stdout must stay a clean, parseable stream
+    # (`repro sweep --format json | jq .`): route the human-facing
+    # table and counters to stderr in that case.
+    human = sys.stderr if (args.format != "table" and not args.output) \
+        else sys.stdout
+    table = [
+        [
+            r.spec.model,
+            (r.spec.gpu if isinstance(r.spec.gpu, str)
+             else ",".join(r.spec.gpu)),
+            r.strategy,
+            "-" if not r.ok else f"{r.iteration_time_s:.4f}",
+            "-" if not r.ok else f"{r.energy_j:.1f}",
+            "-" if not r.ok else f"{r.energy_savings_pct:+.1f}",
+            # keep the table narrow; full messages live in --output rows
+            (r.error[:57] + "..." if r.error and len(r.error) > 60
+             else (r.error or "")),
+        ]
+        for r in rows
+    ]
+    failed = sum(1 for r in rows if not r.ok)
+    print(format_table(
+        ["model", "gpu", "strategy", "time (s)", "energy (J)",
+         "savings (%)", "error"],
+        table,
+        title=f"sweep: {len(rows)} specs, {failed} failed "
+              f"(jobs={args.jobs or 1})",
+    ), file=human)
+    # The persistence guard greps this line: a warm store keeps every
+    # expensive-work counter at zero on a repeat run.
+    s = planner.stats
+    print(f"work       : profiles={s['profile']} "
+          f"stage_sweeps={s['stage_profile']} taus={s['tau']} "
+          f"frontiers={s['frontier']}", file=human)
+    counters = planner.cache.counters
+    print("cache      : " + " ".join(
+        f"{name}={counters[name]}" for name in sorted(counters)
+    ), file=human)
+    if args.output:
+        # the printed table is not a file format; default exports to CSV
+        fmt = "csv" if args.format == "table" else args.format
+        with open(args.output, "w", encoding="utf-8", newline="") as fp:
+            _write_report(fp, rows, fmt)
+        print(f"report ({fmt}) saved to {args.output}")
+    elif args.format != "table":
+        _write_report(sys.stdout, rows, args.format)
+    return 3 if failed else 0
 
 
 def cmd_timeline(args) -> int:
@@ -220,6 +352,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "shared profile")
     _add_plan_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "sweep",
+        help="batch-plan many specs (parallel, error-isolated, "
+             "persistently cached)",
+    )
+    _add_plan_args(p, model_optional=True)
+    p.add_argument("--strategies", default="perseus",
+                   help="comma-separated strategy names, or 'all'")
+    p.add_argument("--gpu-pool", default=None,
+                   help="comma-separated GPU pool: sweep every per-stage "
+                        "mix (cartesian product)")
+    p.add_argument("--specs", default=None, metavar="MANIFEST",
+                   help="JSON manifest of plan_spec payloads (overrides "
+                        "model/strategy/pool flags)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker-pool size (default: serial)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent plan store: partitions, profiles and "
+                        "frontiers are reused across runs")
+    p.add_argument("--format", choices=["table", "json", "csv"],
+                   default="table",
+                   help="report format (with --output, 'table' defaults "
+                        "to csv)")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the report rows to this file")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("timeline", help="render before/after timelines")
     _add_plan_args(p)

@@ -9,9 +9,21 @@ from .serialization import (
     frontier_from_dict,
     frontier_to_dict,
     load_json,
+    partition_from_dict,
+    partition_to_dict,
+    payload_from_dict,
+    payload_to_dict,
     profile_from_dict,
     profile_to_dict,
     save_json,
+)
+from .store import (
+    MISS,
+    CacheBackend,
+    MemoryCache,
+    PlanStore,
+    StoreError,
+    stable_key,
 )
 from .schedule import (
     EnergySchedule,
@@ -28,18 +40,28 @@ from .unified import (
 
 __all__ = [
     "DEFAULT_TAU",
+    "CacheBackend",
     "EnergySchedule",
     "Frontier",
+    "MISS",
+    "MemoryCache",
     "OpCostModel",
     "PerseusOptimizer",
+    "PlanStore",
     "SerializationError",
+    "StoreError",
     "StragglerCase",
     "frontier_from_dict",
     "frontier_to_dict",
     "load_json",
+    "partition_from_dict",
+    "partition_to_dict",
+    "payload_from_dict",
+    "payload_to_dict",
     "profile_from_dict",
     "profile_to_dict",
     "save_json",
+    "stable_key",
     "build_cost_model",
     "build_cost_models",
     "characterize_frontier",

@@ -6,8 +6,9 @@ frontier once, then answer straggler lookups instantly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from ..pipeline.dag import ComputationDag
 from ..pipeline.schedules import Schedule, schedule_1f1b
@@ -26,6 +27,18 @@ class PerseusOptimizer:
     profile: PipelineProfile
     tau: float = DEFAULT_TAU
     _frontier: Optional[Frontier] = None
+    #: Fired exactly once, right after lazy characterization -- the hook
+    #: the planner's cache backend uses to persist frontiers no matter
+    #: which code path (experiments, benchmarks, emulation) forced them.
+    on_characterized: Optional[Callable[[Frontier], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Serializes lazy characterization: concurrent forcers (e.g. two
+    #: non-blocking server registrations sharing a memoized optimizer)
+    #: run the expensive crawl once, not once each.
+    _char_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @classmethod
     def for_1f1b(
@@ -50,12 +63,23 @@ class PerseusOptimizer:
         return cls(dag=build_pipeline_dag(schedule), profile=profile, tau=tau)
 
     @property
+    def is_characterized(self) -> bool:
+        """Whether the frontier has materialized (characterization is
+        lazy; persistent plan stores seed ``_frontier`` up front)."""
+        return self._frontier is not None
+
+    @property
     def frontier(self) -> Frontier:
         """The characterized frontier (computed lazily, cached)."""
         if self._frontier is None:
-            self._frontier = characterize_frontier(
-                self.dag, self.profile, tau=self.tau
-            )
+            with self._char_lock:
+                if self._frontier is None:
+                    frontier = characterize_frontier(
+                        self.dag, self.profile, tau=self.tau
+                    )
+                    if self.on_characterized is not None:
+                        self.on_characterized(frontier)
+                    self._frontier = frontier
         return self._frontier
 
     def schedule_for_straggler(

@@ -12,9 +12,10 @@ dispatch so sweep manifests live next to their artifacts.
 from __future__ import annotations
 
 import json
-from typing import IO, Union
+from typing import IO, List, Sequence, Union
 
 from ..exceptions import ReproError
+from ..partition.algorithms import PartitionResult
 from ..profiler.measurement import Measurement, OpProfile, PipelineProfile
 from .frontier import Frontier
 from .schedule import EnergySchedule
@@ -156,22 +157,134 @@ def frontier_from_dict(payload: dict) -> Frontier:
 
 
 # ---------------------------------------------------------------------------
+# Plan-store artifacts: partitions, per-stage sweeps, taus
+# ---------------------------------------------------------------------------
+
+
+def partition_to_dict(partition: PartitionResult) -> dict:
+    """JSON-ready representation of a partitioning result."""
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "partition",
+        "boundaries": list(partition.boundaries),
+        "stage_latencies": list(partition.stage_latencies),
+        "ratio": partition.ratio,
+    }
+
+
+def partition_from_dict(payload: dict) -> PartitionResult:
+    """Inverse of :func:`partition_to_dict`."""
+    _expect(payload, "partition")
+    return PartitionResult(
+        boundaries=tuple(int(b) for b in payload["boundaries"]),
+        stage_latencies=tuple(float(t) for t in payload["stage_latencies"]),
+        ratio=float(payload["ratio"]),
+    )
+
+
+def stage_sweep_to_dict(measurements: Sequence[Measurement]) -> dict:
+    """One (device, stage-workload) frequency sweep, JSON-ready.
+
+    This is the unit the planner memoizes per ``(gpu, work, stride)`` to
+    compose mixed-cluster profiles; persisting it lets a second process
+    assemble new GPU mixes from sweeps measured by a first.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "stage_sweep",
+        "measurements": [
+            [m.freq_mhz, m.time_s, m.energy_j] for m in measurements
+        ],
+    }
+
+
+def stage_sweep_from_dict(payload: dict) -> List[Measurement]:
+    """Inverse of :func:`stage_sweep_to_dict`."""
+    _expect(payload, "stage_sweep")
+    return [
+        Measurement(freq_mhz=int(f), time_s=float(t), energy_j=float(e))
+        for f, t, e in payload["measurements"]
+    ]
+
+
+def tau_to_dict(tau: float) -> dict:
+    """An auto-derived frontier granularity, JSON-ready.
+
+    Tiny, but persisted: tau is part of the frontier's content address,
+    so reusing the recorded value (instead of re-deriving it) is what
+    guarantees a warm process addresses the exact same frontier file.
+    """
+    return {"version": FORMAT_VERSION, "kind": "tau", "value": tau}
+
+
+def tau_from_dict(payload: dict) -> float:
+    """Inverse of :func:`tau_to_dict`."""
+    _expect(payload, "tau")
+    return float(payload["value"])
+
+
+# ---------------------------------------------------------------------------
+# Generic payload dispatch (what the plan store reads/writes)
+# ---------------------------------------------------------------------------
+
+
+def payload_to_dict(obj) -> dict:
+    """Versioned payload for any plan-store artifact.
+
+    Dispatches on type: profiles, frontiers, partitions, per-stage
+    measurement sweeps (lists of :class:`Measurement`) and tau floats.
+    """
+    if isinstance(obj, PipelineProfile):
+        return profile_to_dict(obj)
+    if isinstance(obj, Frontier):
+        return frontier_to_dict(obj)
+    if isinstance(obj, PartitionResult):
+        return partition_to_dict(obj)
+    if isinstance(obj, float):
+        return tau_to_dict(obj)
+    if isinstance(obj, (list, tuple)) and obj and all(
+        isinstance(m, Measurement) for m in obj
+    ):
+        return stage_sweep_to_dict(obj)
+    raise SerializationError(
+        f"cannot serialize {type(obj).__name__} as a plan-store payload"
+    )
+
+
+_PAYLOAD_READERS = {
+    "pipeline_profile": profile_from_dict,
+    "frontier": frontier_from_dict,
+    "partition": partition_from_dict,
+    "stage_sweep": stage_sweep_from_dict,
+    "tau": tau_from_dict,
+}
+
+
+def payload_from_dict(payload: dict):
+    """Inverse of :func:`payload_to_dict` (dispatches on ``kind``)."""
+    if not isinstance(payload, dict):
+        raise SerializationError("payload must be a JSON object")
+    reader = _PAYLOAD_READERS.get(payload.get("kind"))
+    if reader is None:
+        raise SerializationError(
+            f"unknown payload kind {payload.get('kind')!r}"
+        )
+    return reader(payload)
+
+
+# ---------------------------------------------------------------------------
 # File helpers
 # ---------------------------------------------------------------------------
 
 
 def save_json(obj, fp: IO[str]) -> None:
-    """Serialize a profile, frontier or plan spec to an open text file."""
+    """Serialize a profile, frontier, partition or plan spec to a file."""
     from ..api.spec import PlanSpec
 
-    if isinstance(obj, PipelineProfile):
-        json.dump(profile_to_dict(obj), fp)
-    elif isinstance(obj, Frontier):
-        json.dump(frontier_to_dict(obj), fp)
-    elif isinstance(obj, PlanSpec):
+    if isinstance(obj, PlanSpec):
         json.dump(obj.to_dict(), fp)
-    else:
-        raise SerializationError(f"cannot serialize {type(obj).__name__}")
+        return
+    json.dump(payload_to_dict(obj), fp)
 
 
 def load_json(fp: IO[str]):
@@ -181,16 +294,12 @@ def load_json(fp: IO[str]):
 
     payload = json.load(fp)
     kind = payload.get("kind") if isinstance(payload, dict) else None
-    if kind == "pipeline_profile":
-        return profile_from_dict(payload)
-    if kind == "frontier":
-        return frontier_from_dict(payload)
     if kind == "plan_spec":
         try:
             return PlanSpec.from_dict(payload)
         except ConfigurationError as exc:
             raise SerializationError(str(exc)) from exc
-    raise SerializationError(f"unknown payload kind {kind!r}")
+    return payload_from_dict(payload)
 
 
 def _expect(payload: dict, kind: str, versions=(FORMAT_VERSION,)) -> None:

@@ -1,0 +1,367 @@
+"""Pluggable planner cache backends + the persistent plan store.
+
+The :class:`~repro.api.planner.Planner` runs a staged pipeline (model ->
+partition -> profile -> DAG -> frontier) and memoizes every stage on the
+sub-key of the spec that determines it.  Those memo tables used to be
+five ad-hoc dicts inside the planner; they are now a
+:class:`CacheBackend` with two implementations:
+
+* :class:`MemoryCache` -- the in-process tier (exactly the old dicts).
+* :class:`PlanStore`  -- a content-addressed on-disk store layered over
+  a memory tier, so partitions, profiles, per-stage frequency sweeps,
+  taus and characterized frontiers persist *across processes*.  A sweep
+  service (or a second figure-reproduction run) warm-starts from disk
+  with zero re-profiling and zero re-characterization.
+
+Store layout (one directory per persistent namespace)::
+
+    <root>/store-format.json          layout version stamp
+    <root>/partition/<sha256>.json    versioned core.serialization payloads
+    <root>/profile/<sha256>.json
+    <root>/stage_sweep/<sha256>.json
+    <root>/tau/<sha256>.json
+    <root>/frontier/<sha256>.json
+
+Keys are *content hashes* of the planner's tuple keys
+(:func:`stable_key`): every constituent -- the full model definition
+(:class:`~repro.models.layers.ModelSpec` values, not just the name),
+canonical GPU spec(s), partition/profiling parameters, dag shape, tau --
+is canonicalized (dataclasses by type name + field values, floats by
+their exact hex representation) and SHA-256 hashed.  Two processes, or
+a v1 and a v2 spec payload, or a homogeneous per-stage GPU tuple and
+the equivalent single name, therefore address bit-for-bit the same
+entries.
+
+Invalidation follows from the keys: a changed *input* (model-zoo
+definition, GPU spec, any parameter) is a different file, never a stale
+hit.  What keys cannot see is a change to the *algorithms themselves*:
+edit the partitioner, profiler or optimizer code and previously
+persisted artifacts still match their keys -- delete the store
+directory after such upgrades (it is a pure cache).  Payloads carry
+their own format versions (``core.serialization``); an unreadable or
+version-incompatible file is treated as a miss and recomputed, never an
+error.  Only a mismatched *layout* stamp raises, since silently mixing
+layouts could alias keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Iterable, Optional
+
+from ..exceptions import ReproError
+from .serialization import (
+    SerializationError,
+    payload_from_dict,
+    payload_to_dict,
+)
+
+#: Sentinel returned by :meth:`CacheBackend.get` on a miss (``None`` is a
+#: legitimate cached value, e.g. an unresolved optional field).
+MISS = object()
+
+#: On-disk layout version (bump only if the directory structure or the
+#: key construction changes incompatibly).
+STORE_LAYOUT_VERSION = 1
+
+#: Namespaces :class:`PlanStore` persists to disk; everything else
+#: (models, DAGs, optimizers, simulated baselines) is cheap to rebuild
+#: or not meaningfully serializable and stays memory-only.
+PERSISTENT_NAMESPACES = ("partition", "profile", "stage_sweep", "tau",
+                         "frontier")
+
+
+class StoreError(ReproError):
+    """The on-disk plan store is unusable (layout mismatch, bad root)."""
+
+
+# ---------------------------------------------------------------------------
+# Stable content hashing
+# ---------------------------------------------------------------------------
+
+
+def _canonical(value):
+    """JSON-able canonical form of one planner cache-key constituent.
+
+    Dataclasses (``GPUSpec``, ``WorkProfile``, ...) canonicalize by type
+    name plus *field values*, so a derated custom A100 never collides
+    with the registry spec sharing its name.  Floats use ``float.hex``
+    -- exact, locale-free, round-trippable.
+    """
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        return value.hex()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [type(value).__name__,
+                _canonical(dataclasses.asdict(value))]
+    if isinstance(value, (tuple, list)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for a "
+                    f"store key")
+
+
+def stable_key(key) -> str:
+    """SHA-256 content hash of a planner cache key (hex digest).
+
+    Stable across processes and Python versions: the same logical inputs
+    always hash to the same address, which is what lets a second process
+    reuse a first process's partitions, profiles and frontiers
+    bit-for-bit.
+    """
+    canonical = json.dumps(_canonical(key), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class CacheBackend:
+    """Namespace -> key -> value storage behind the planner's memo tables.
+
+    Keys are the planner's tuple keys (hashable, content-determined);
+    values are stage artifacts.  ``get`` returns :data:`MISS` on a miss
+    so ``None`` stays a valid value.  ``counters`` tallies hits/misses
+    (and, for persistent backends, disk traffic) for §6.5-style overhead
+    accounting and the CI persistence guard.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {"hits": 0, "misses": 0}
+
+    def get(self, namespace: str, key) -> Any:
+        raise NotImplementedError
+
+    def put(self, namespace: str, key, value) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    # -- worker-pool support -------------------------------------------------
+    def worker_view(self) -> "CacheBackend":
+        """An independent backend for one sweep worker.
+
+        Snapshots the current memory tier (shallow -- values are shared,
+        the tables are not), so workers start warm but never race on the
+        parent's dicts; :meth:`merge` folds their results back.
+        """
+        raise NotImplementedError
+
+    def merge(self, other: "CacheBackend") -> None:
+        """Adopt ``other``'s entries this backend does not already hold."""
+        raise NotImplementedError
+
+    def items(self, namespace: str):
+        """Iterate the namespace's (key, value) pairs held in memory."""
+        raise NotImplementedError
+
+
+class MemoryCache(CacheBackend):
+    """The in-process tier: plain dicts, exactly the planner's old memos.
+
+    Mutations take a small lock so a background characterization hook
+    (e.g. a non-blocking server registration) can insert entries while
+    another thread snapshots a :meth:`worker_view`; lock-free reads stay
+    safe under the GIL.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: Dict[str, Dict[Any, Any]] = {}
+        self._mutex = threading.Lock()
+
+    def _table(self, namespace: str) -> Dict[Any, Any]:
+        return self._tables.setdefault(namespace, {})
+
+    def get(self, namespace: str, key) -> Any:
+        table = self._table(namespace)
+        if key in table:
+            self.counters["hits"] += 1
+            return table[key]
+        self.counters["misses"] += 1
+        return MISS
+
+    def put(self, namespace: str, key, value) -> None:
+        with self._mutex:
+            self._table(namespace)[key] = value
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._tables.clear()
+
+    def worker_view(self) -> "MemoryCache":
+        view = MemoryCache()
+        with self._mutex:
+            view._tables = {ns: dict(table)
+                            for ns, table in self._tables.items()}
+        return view
+
+    def items(self, namespace: str):
+        with self._mutex:
+            return list(self._table(namespace).items())
+
+    def merge(self, other: CacheBackend) -> None:
+        if not isinstance(other, MemoryCache):
+            raise TypeError("can only merge memory tiers of the same kind")
+        with self._mutex:
+            for ns, table in other._tables.items():
+                mine = self._table(ns)
+                for key, value in table.items():
+                    mine.setdefault(key, value)
+            for name, count in other.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + count
+
+
+class PlanStore(MemoryCache):
+    """Content-addressed persistent plan store (disk under a memory tier).
+
+    ``get`` consults the memory tier first (same-process object reuse
+    keeps identity semantics), then disk for the
+    :data:`PERSISTENT_NAMESPACES`; a disk hit is deserialized once and
+    promoted to memory.  ``put`` writes through to disk atomically
+    (temp file + ``os.replace``), skipping files that already exist --
+    content addressing makes rewrites pointless -- so concurrent sweep
+    workers sharing one root never corrupt each other.
+    """
+
+    def __init__(self, root: os.PathLike) -> None:
+        super().__init__()
+        self.root = os.fspath(root)
+        self._lock = threading.Lock()
+        #: Paths whose existing file failed to load (corrupt or from an
+        #: old payload version): ``put`` must overwrite these, not skip.
+        self._stale: set = set()
+        try:
+            os.makedirs(self.root, exist_ok=True)
+        except OSError as exc:  # root is a file, unwritable parent, ...
+            raise StoreError(
+                f"cannot use {self.root!r} as a plan-store directory: {exc}"
+            ) from exc
+        self._check_layout()
+
+    def _check_layout(self) -> None:
+        stamp = os.path.join(self.root, "store-format.json")
+        if os.path.exists(stamp):
+            try:
+                with open(stamp, encoding="utf-8") as fp:
+                    version = json.load(fp).get("layout_version")
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"unreadable store stamp {stamp}") from exc
+            if version != STORE_LAYOUT_VERSION:
+                raise StoreError(
+                    f"plan store {self.root} uses layout {version!r}; this "
+                    f"build writes layout {STORE_LAYOUT_VERSION} -- point "
+                    f"--cache-dir at a fresh directory"
+                )
+            return
+        self._atomic_write(stamp, json.dumps(
+            {"kind": "plan_store", "layout_version": STORE_LAYOUT_VERSION}
+        ))
+
+    def _path(self, namespace: str, key) -> str:
+        return os.path.join(self.root, namespace, stable_key(key) + ".json")
+
+    def _atomic_write(self, path: str, text: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fp:
+                fp.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, namespace: str, key) -> Any:
+        value = super().get(namespace, key)
+        if value is not MISS or namespace not in PERSISTENT_NAMESPACES:
+            return value
+        path = self._path(namespace, key)
+        try:
+            with open(path, encoding="utf-8") as fp:
+                payload = json.load(fp)
+            value = payload_from_dict(payload)
+        except FileNotFoundError:
+            self.counters["disk_misses"] = \
+                self.counters.get("disk_misses", 0) + 1
+            return MISS
+        except (OSError, ValueError, SerializationError):
+            # Corrupt or version-incompatible payload: recompute, and
+            # remember the path so the eventual put rewrites the file.
+            self._stale.add(path)
+            self.counters["disk_misses"] = \
+                self.counters.get("disk_misses", 0) + 1
+            return MISS
+        self.counters["disk_hits"] = self.counters.get("disk_hits", 0) + 1
+        super().put(namespace, key, value)
+        return value
+
+    def put(self, namespace: str, key, value) -> None:
+        super().put(namespace, key, value)
+        if namespace not in PERSISTENT_NAMESPACES:
+            return
+        path = self._path(namespace, key)
+        if os.path.exists(path) and path not in self._stale:
+            return
+        with self._lock:
+            if os.path.exists(path) and path not in self._stale:
+                return
+            text = json.dumps(payload_to_dict(value))
+            self._atomic_write(path, text)
+            self._stale.discard(path)
+            self.counters["disk_writes"] = \
+                self.counters.get("disk_writes", 0) + 1
+
+    def clear(self) -> None:
+        """Drop the memory tier only; the on-disk store is durable."""
+        super().clear()
+
+    def worker_view(self) -> "PlanStore":
+        view = PlanStore(self.root)
+        with self._mutex:
+            view._tables = {ns: dict(table)
+                            for ns, table in self._tables.items()}
+        return view
+
+    def entries(self, namespace: str) -> Iterable[str]:
+        """Hex keys currently persisted for one namespace (diagnostics)."""
+        directory = os.path.join(self.root, namespace)
+        if not os.path.isdir(directory):
+            return []
+        return sorted(
+            name[:-5] for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+
+
+def as_backend(cache) -> CacheBackend:
+    """Coerce a user-facing ``cache`` argument to a backend.
+
+    ``None`` -> fresh :class:`MemoryCache`; a path -> :class:`PlanStore`
+    rooted there; an existing backend passes through (shared stores).
+    """
+    if cache is None:
+        return MemoryCache()
+    if isinstance(cache, CacheBackend):
+        return cache
+    if isinstance(cache, (str, os.PathLike)):
+        return PlanStore(cache)
+    raise TypeError(
+        f"cache must be None, a directory path or a CacheBackend, "
+        f"got {type(cache).__name__}"
+    )

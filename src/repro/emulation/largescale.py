@@ -13,18 +13,14 @@ drives the bubble-ratio effect of Table 6 / Figure 8.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.optimizer import PerseusOptimizer
 from ..exceptions import ConfigurationError
-from ..api.planner import auto_tau
+from ..api.planner import Planner, default_planner
 from ..gpu.specs import GPULike, GPUSpec, resolve_gpus
-from ..models.registry import build_model
-from ..partition.algorithms import partition_model
-from ..pipeline.dag import build_pipeline_dag
-from ..pipeline.schedules import schedule_1f1b
-from ..profiler.online import profile_pipeline
 from ..sim.executor import (
     execute_frequency_plan,
     max_frequency_plan,
@@ -74,7 +70,12 @@ class EmulationSetup:
     _cache: Dict = field(default_factory=dict, repr=False)
 
 
-_SETUP_CACHE: Dict[tuple, EmulationSetup] = {}
+#: Setup reuse per planner (weak keys: dropping a private planner drops
+#: the setups built from its caches -- and prevents a recycled ``id``
+#: from ever serving another planner's artifacts).
+_SETUP_CACHE: "weakref.WeakKeyDictionary[Planner, Dict[tuple, EmulationSetup]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def prepare_emulation(
@@ -84,6 +85,7 @@ def prepare_emulation(
     microbatch_size: int = 1,
     freq_stride: int = 4,
     step_target: int = 200,
+    planner: Optional[Planner] = None,
 ) -> EmulationSetup:
     """Profile one pipeline of the huge model and characterize its frontier.
 
@@ -92,34 +94,44 @@ def prepare_emulation(
     and per-pipeline energies scale by the TP degree.  ``gpu`` may be a
     per-stage sequence to emulate a mixed-generation cluster (the §6.3
     machinery then runs unchanged on the heterogeneous profile).
+
+    The stack comes from the shared :class:`~repro.api.Planner`, so
+    emulations share partitions/profiles/frontiers with every other
+    caller -- and persist them when ``REPRO_CACHE_DIR`` (or an explicit
+    store-backed ``planner``) is in play, which is what lets the
+    175B-scale figure reproductions warm-start.
     """
     gpus = resolve_gpus(gpu, PIPELINE_STAGES)
+    planner = planner or default_planner()
+    # The setup cache is scoped per planner: a setup built from one
+    # planner's caches must not be served to a caller who passed a
+    # different (e.g. store-backed) planner expecting its artifacts to
+    # land there.
+    per_planner = _SETUP_CACHE.setdefault(planner, {})
     key = (model_name, tuple(g.name for g in gpus), num_microbatches,
-           microbatch_size, freq_stride)
-    if key in _SETUP_CACHE:
-        return _SETUP_CACHE[key]
-    model = build_model(model_name, microbatch_size)
-    partition = partition_model(model, PIPELINE_STAGES, gpus)
-    profile = profile_pipeline(
-        model,
-        partition,
-        gpus,
+           microbatch_size, freq_stride, step_target)
+    if key in per_planner:
+        return per_planner[key]
+    stack = planner.build_stack(
+        model=model_name,
+        gpu=gpus,
+        stages=PIPELINE_STAGES,
+        microbatches=num_microbatches,
+        microbatch_size=microbatch_size,
         tensor_parallel=TENSOR_PARALLEL,
         freq_stride=freq_stride,
+        step_target=step_target,
     )
-    dag = build_pipeline_dag(schedule_1f1b(PIPELINE_STAGES, num_microbatches))
-    tau = auto_tau(dag, profile, step_target)
-    optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
     setup = EmulationSetup(
         model_name=model_name,
         gpu=gpus[0],
         num_microbatches=num_microbatches,
-        dag=dag,
-        profile=profile,
-        optimizer=optimizer,
-        gpus=gpus,
+        dag=stack.dag,
+        profile=stack.profile,
+        optimizer=stack.optimizer,
+        gpus=stack.gpus,
     )
-    _SETUP_CACHE[key] = setup
+    per_planner[key] = setup
     return setup
 
 

@@ -13,18 +13,35 @@ Jobs can be registered either from raw parts (``register_job`` +
 ``submit_profile``, the client-driven path) or from a single
 :class:`repro.api.PlanSpec` via :meth:`PerseusServer.register_spec`,
 which builds the DAG, profile and tau through the shared planner.
+Spec-registered jobs characterize *through* the planner, so a frontier
+already held by the planner's cache backend (including a persistent
+:class:`~repro.core.store.PlanStore` warmed by another process) is
+adopted as-is instead of being re-crawled.
+
+:meth:`PerseusServer.submit_sweep` is the batch path: it plans a whole
+spec batch (optionally on a worker pool, with per-spec error
+isolation), registers one deployable job per successful Perseus spec,
+and serves the comparable :class:`~repro.api.planner.PlanReport` rows
+via :meth:`PerseusServer.report_of` / :meth:`PerseusServer.sweep_reports`.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+)
 
 from ..core.frontier import DEFAULT_TAU, Frontier, characterize_frontier
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..api.planner import Planner
+    from ..api.planner import Planner, PlanReport
     from ..api.spec import PlanSpec
 from ..core.schedule import EnergySchedule
 from ..core.unified import energy_optimal_iteration_time
@@ -65,6 +82,10 @@ class PerseusServer:
     def __init__(self, deploy_callback: Optional[DeployCallback] = None):
         self._jobs: Dict[str, _Job] = {}
         self._deploy = deploy_callback
+        #: Sweep rows by job id; ``None`` marks an id reserved by an
+        #: in-flight ``submit_sweep`` batch (planning takes seconds).
+        self._reports: Dict[str, Optional["PlanReport"]] = {}
+        self._sweep_lock = threading.Lock()
 
     # -- job lifecycle -------------------------------------------------------
     def register_job(
@@ -85,16 +106,23 @@ class PerseusServer:
         """Register a job from a :class:`~repro.api.PlanSpec`.
 
         The (memoized) planner assembles the DAG, the analytic profile
-        and the auto-derived tau, then the usual ``submit_profile`` path
-        kicks off frontier characterization -- asynchronously unless
-        ``blocking`` is set.  Specs with a per-stage ``gpu`` tuple are
-        first-class: the mixed-cluster profile (per-stage ladders and
-        blocking powers) flows into characterization unchanged, so the
-        frontier the server deploys is the heterogeneous pipeline's own.
+        and the auto-derived tau, then frontier characterization runs
+        through the planner itself (:meth:`~repro.api.Planner.frontier_for`,
+        not the raw-parts ``submit_profile`` path) -- asynchronously
+        unless ``blocking`` is set.  Specs with a per-stage ``gpu``
+        tuple are first-class: the mixed-cluster profile (per-stage
+        ladders and blocking powers) flows into characterization
+        unchanged, so the frontier the server deploys is the
+        heterogeneous pipeline's own.
 
         The server *is* the Perseus frontier service: it characterizes
         and deploys frontier schedules, so a spec naming any other
         strategy is rejected rather than silently ignored.
+
+        Characterization goes through the planner's cache backend: a
+        frontier the planner (or its persistent store) already holds is
+        adopted instantly, and a freshly crawled one is shared with
+        every later job naming the same (dag, profile, tau).
         """
         from ..api.planner import default_planner
 
@@ -104,9 +132,135 @@ class PerseusServer:
                 f"strategy {spec.strategy!r} -- use "
                 f"spec.replace(strategy='perseus')"
             )
-        stack = (planner or default_planner()).result(spec)
+        planner = planner or default_planner()
+        stack = planner.result(spec)
         self.register_job(job_id, stack.dag, tau=stack.optimizer.tau)
-        self.submit_profile(job_id, stack.profile, blocking=blocking)
+        job = self._job(job_id)
+        with job.lock:
+            job.profile = stack.profile
+            job.characterizing = True
+        if blocking:
+            self._adopt_frontier(job, stack)
+        else:
+            # The stack was fully assembled above, on this thread; the
+            # worker only forces the frontier crawl.  That is safe (and
+            # not duplicated) off-thread: the optimizer serializes its
+            # own characterization, and the planner's record hook takes
+            # the backend's mutation locks.
+            thread = threading.Thread(
+                target=self._adopt_frontier, args=(job, stack),
+                daemon=True,
+            )
+            thread.start()
+
+    def _adopt_frontier(self, job: _Job, stack) -> None:
+        """Characterize (or adopt the cache-seeded) frontier; deploy.
+
+        ``stack.optimizer.frontier`` is instant when the planner's
+        backend already held the frontier, and a fresh crawl records
+        itself with that backend via the optimizer's hook.
+        """
+        try:
+            frontier = stack.optimizer.frontier
+        except BaseException as exc:  # surfaced on next query
+            with job.lock:
+                job.error = exc
+                job.characterizing = False
+            return
+        with job.lock:
+            job.frontier = frontier
+            job.characterizing = False
+        self._push_schedule(job)
+
+    # -- batch sweep service -------------------------------------------------
+    def submit_sweep(
+        self,
+        specs: Iterable["PlanSpec"],
+        planner: Optional["Planner"] = None,
+        jobs: Optional[int] = None,
+        prefix: str = "sweep",
+    ) -> Dict[str, "PlanReport"]:
+        """Plan a batch of specs and register the deployable ones.
+
+        Every spec is planned through the shared planner (``jobs > 1``
+        uses the planner's worker pool), with per-spec error isolation:
+        a bad spec yields an error row, never an aborted batch.  One job
+        per *successful Perseus* spec is registered -- its frontier is
+        the one the planner just characterized (or loaded from its
+        store), so nothing is crawled twice -- and its schedule is
+        pushed through the deploy callback.  Rows for non-Perseus
+        strategies are served for comparison but deploy nothing.
+
+        Returns ``job_id -> PlanReport`` in input order; rows are also
+        retained for :meth:`report_of` / :meth:`sweep_reports`.
+        """
+        from ..api.planner import default_planner
+
+        planner = planner or default_planner()
+        spec_list = list(specs)
+        job_ids = [f"{prefix}-{i}" for i in range(len(spec_list))]
+        # Reserve every id atomically up front: the batch plan below can
+        # take seconds, and a concurrent submit_sweep with the same
+        # prefix must fail here, not half-way through registration.
+        with self._sweep_lock:
+            for job_id in job_ids:
+                if job_id in self._jobs or job_id in self._reports:
+                    raise ServerError(
+                        f"sweep job {job_id!r} already exists; pick "
+                        f"another prefix"
+                    )
+            for job_id in job_ids:
+                self._reports[job_id] = None
+        try:
+            reports = planner.sweep(spec_list, jobs=jobs, errors="report")
+        except BaseException:
+            with self._sweep_lock:
+                for job_id in job_ids:
+                    self._reports.pop(job_id, None)
+            raise
+        out: Dict[str, "PlanReport"] = {}
+        try:
+            for job_id, spec, report in zip(job_ids, spec_list, reports):
+                self._reports[job_id] = report
+                out[job_id] = report
+                if not report.ok or spec.strategy != "perseus":
+                    continue
+                stack = planner.result(spec)
+                self.register_job(job_id, stack.dag,
+                                  tau=stack.optimizer.tau)
+                job = self._job(job_id)
+                with job.lock:
+                    job.profile = stack.profile
+                    job.frontier = planner.frontier_for(spec)
+                self._push_schedule(job)
+        except BaseException:
+            # A failing registration or deploy callback rolls the whole
+            # batch back -- reserved ids, filled rows and jobs this
+            # batch registered -- so nothing is left half-deployed and
+            # a retry with the same prefix can proceed.  (The planner's
+            # cached artifacts survive, so the retry is cheap.)
+            with self._sweep_lock:
+                for job_id in job_ids:
+                    self._reports.pop(job_id, None)
+                    self._jobs.pop(job_id, None)
+            raise
+        return out
+
+    def report_of(self, job_id: str) -> "PlanReport":
+        """The retained sweep row for one submitted spec."""
+        with self._sweep_lock:
+            report = self._reports.get(job_id)
+        if report is None:
+            raise ServerError(f"no sweep report for {job_id!r}")
+        return report
+
+    def sweep_reports(self) -> Dict[str, "PlanReport"]:
+        """All retained sweep rows (job id -> report, insertion order;
+        ids reserved by an in-flight batch are excluded)."""
+        with self._sweep_lock:
+            return {job_id: report
+                    for job_id, report in self._reports.items()
+                    if report is not None}
 
     def submit_profile(
         self, job_id: str, profile: PipelineProfile, blocking: bool = False

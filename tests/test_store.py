@@ -1,0 +1,382 @@
+"""Persistent plan store, pluggable cache backends, parallel sweeps.
+
+Covers the guarantees the sweep service is built on: stable
+content-addressed keys (v1/v2 spec payloads and homogeneous-tuple vs
+single-name specs alias), cross-process reuse with zero re-profiling /
+re-characterization and bit-identical frontiers, per-spec error
+isolation, and parallel ``sweep(jobs>1)`` equivalence with serial.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import PlanSpec, Planner, mixed_cluster_specs
+from repro.core.serialization import frontier_to_dict, profile_to_dict
+from repro.core.store import (
+    MISS,
+    MemoryCache,
+    PlanStore,
+    StoreError,
+    stable_key,
+)
+from repro.exceptions import ConfigurationError
+from repro.runtime.server import PerseusServer
+
+#: Tiny/fast planning request reused across the module.
+SMALL = PlanSpec("bert-large", gpu="a100", stages=2, microbatches=3,
+                 freq_stride=24)
+MIXED = PlanSpec("bert-large", gpu=("a100", "a40"), stages=2,
+                 microbatches=3, freq_stride=24)
+
+
+def expensive_work(planner: Planner) -> dict:
+    """The stats counters that must stay zero on a warm store."""
+    return {k: planner.stats[k]
+            for k in ("profile", "stage_profile", "tau", "frontier")}
+
+
+class TestStableKey:
+    def test_deterministic_and_distinct(self):
+        a = stable_key(("bert-large", None, 2, "a100"))
+        assert a == stable_key(("bert-large", None, 2, "a100"))
+        assert a != stable_key(("bert-large", None, 4, "a100"))
+
+    def test_float_exactness(self):
+        assert stable_key(0.1 + 0.2) != stable_key(0.3)
+        assert stable_key(1.0) != stable_key(1)
+
+    def test_dataclass_content_not_name(self):
+        import dataclasses
+
+        from repro.gpu.specs import A100_PCIE
+
+        derated = dataclasses.replace(A100_PCIE, tdp_w=250.0)
+        assert stable_key(A100_PCIE) != stable_key(derated)
+        assert stable_key(A100_PCIE) == stable_key(
+            dataclasses.replace(A100_PCIE)
+        )
+
+    def test_unhashable_content_rejected(self):
+        with pytest.raises(TypeError):
+            stable_key(object())
+
+
+class TestCacheKeyStability:
+    """Satellite: equal specs must address identical store entries."""
+
+    def test_v1_and_v2_payloads_hash_identically(self):
+        payload_v2 = SMALL.to_dict()
+        assert payload_v2["version"] == 2
+        payload_v1 = dict(payload_v2, version=1)
+        planner = Planner()
+        keys_v2 = planner.cache_keys(PlanSpec.from_dict(payload_v2))
+        keys_v1 = planner.cache_keys(PlanSpec.from_dict(payload_v1))
+        assert keys_v1 == keys_v2
+
+    def test_homogeneous_tuple_matches_single_name(self):
+        planner = Planner()
+        single = planner.cache_keys(SMALL)
+        tupled = planner.cache_keys(SMALL.replace(gpu=("a100", "a100")))
+        aliased = planner.cache_keys(SMALL.replace(gpu="a100-pcie"))
+        assert tupled == single
+        assert aliased == single
+        # and planning did not re-profile for the aliases
+        assert planner.stats["profile"] == 1
+
+    def test_mixed_tuple_gets_its_own_keys(self):
+        planner = Planner()
+        assert planner.cache_keys(MIXED) != planner.cache_keys(SMALL)
+
+    def test_same_keys_across_planner_instances(self):
+        assert Planner().cache_keys(SMALL) == Planner().cache_keys(SMALL)
+
+
+class TestMemoryCache:
+    def test_miss_is_not_none(self):
+        cache = MemoryCache()
+        assert cache.get("ns", ("k",)) is MISS
+        cache.put("ns", ("k",), None)
+        assert cache.get("ns", ("k",)) is None
+
+    def test_merge_prefers_own_entries(self):
+        a, b = MemoryCache(), MemoryCache()
+        a.put("ns", "k", "mine")
+        b.put("ns", "k", "theirs")
+        b.put("ns", "k2", "new")
+        a.merge(b)
+        assert a.get("ns", "k") == "mine"
+        assert a.get("ns", "k2") == "new"
+
+    def test_worker_view_is_isolated_but_warm(self):
+        a = MemoryCache()
+        a.put("ns", "k", "v")
+        view = a.worker_view()
+        assert view.get("ns", "k") == "v"
+        view.put("ns", "k2", "w")
+        assert a.get("ns", "k2") is MISS
+
+
+class TestPlanStore:
+    def test_persists_across_instances(self, tmp_path):
+        first = Planner(cache=tmp_path / "store")
+        report = first.plan(SMALL)
+        assert expensive_work(first) == {"profile": 1, "stage_profile": 0,
+                                         "tau": 1, "frontier": 1}
+
+        second = Planner(cache=tmp_path / "store")
+        warm = second.plan(SMALL)
+        assert expensive_work(second) == {"profile": 0, "stage_profile": 0,
+                                          "tau": 0, "frontier": 0}
+        assert warm.plan == report.plan
+        assert warm.iteration_time_s == report.iteration_time_s
+        assert warm.energy_j == report.energy_j
+
+    def test_warm_frontier_is_bit_identical(self, tmp_path):
+        cold = Planner(cache=tmp_path / "store")
+        warm = Planner(cache=tmp_path / "store")
+        a = frontier_to_dict(cold.frontier_for(SMALL))
+        b = frontier_to_dict(warm.frontier_for(SMALL))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        assert warm.stats["frontier"] == 0
+        assert warm.cache.counters["disk_hits"] > 0
+
+    def test_warm_profile_is_bit_identical(self, tmp_path):
+        cold = Planner(cache=tmp_path / "store")
+        warm = Planner(cache=tmp_path / "store")
+        a = profile_to_dict(cold.result(MIXED).profile)
+        b = profile_to_dict(warm.result(MIXED).profile)
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_mixed_specs_share_persisted_stage_sweeps(self, tmp_path):
+        cold = Planner(cache=tmp_path / "store")
+        cold.result(MIXED)
+        assert cold.stats["stage_profile"] > 0
+
+        warm = Planner(cache=tmp_path / "store")
+        # A *different* mix over the same devices and partition slices
+        # must warm-start entirely from the persisted per-stage sweeps.
+        warm.result(MIXED)
+        assert warm.stats["stage_profile"] == 0
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        root = tmp_path / "store"
+        planner = Planner(cache=root)
+        planner.plan(SMALL)
+        for name in os.listdir(root / "profile"):
+            (root / "profile" / name).write_text("{not json", "utf-8")
+        recovered = Planner(cache=root)
+        recovered.plan(SMALL)
+        assert recovered.stats["profile"] == 1  # recomputed, no crash
+
+    def test_corrupt_entry_is_repaired_not_recomputed_forever(self, tmp_path):
+        root = tmp_path / "store"
+        Planner(cache=root).plan(SMALL)
+        for name in os.listdir(root / "profile"):
+            (root / "profile" / name).write_text("{not json", "utf-8")
+        Planner(cache=root).plan(SMALL)  # recomputes AND rewrites the file
+        healed = Planner(cache=root)
+        healed.plan(SMALL)
+        assert healed.stats["profile"] == 0
+
+    def test_layout_mismatch_raises(self, tmp_path):
+        root = tmp_path / "store"
+        PlanStore(root)
+        (root / "store-format.json").write_text(
+            json.dumps({"kind": "plan_store", "layout_version": 99}), "utf-8"
+        )
+        with pytest.raises(StoreError, match="layout"):
+            PlanStore(root)
+
+    def test_clear_keeps_disk(self, tmp_path):
+        planner = Planner(cache=tmp_path / "store")
+        planner.plan(SMALL)
+        planner.clear()
+        planner.plan(SMALL)
+        assert planner.stats["profile"] == 1  # second pass hit the disk
+
+    def test_cache_argument_forms(self, tmp_path):
+        assert isinstance(Planner().cache, MemoryCache)
+        assert isinstance(Planner(cache=str(tmp_path / "s")).cache, PlanStore)
+        shared = PlanStore(tmp_path / "s2")
+        assert Planner(cache=shared).cache is shared
+        with pytest.raises(TypeError):
+            Planner(cache=42)
+
+
+class TestSweepErrorIsolation:
+    """Satellite: one bad spec must not abort a batch."""
+
+    def test_bad_spec_reports_instead_of_raising(self):
+        planner = Planner()
+        rows = planner.sweep([
+            SMALL,
+            SMALL.replace(strategy="not-a-strategy"),
+            SMALL.replace(model="not-a-model"),
+            SMALL.replace(strategy="envpipe"),
+        ])
+        assert [r.ok for r in rows] == [True, False, False, True]
+        assert "not-a-strategy" in rows[1].error
+        assert "not-a-model" in rows[2].error
+        assert rows[1].iteration_time_s != rows[1].iteration_time_s  # NaN
+        assert rows[1].to_dict()["error"] == rows[1].error
+
+    def test_error_rows_serialize_to_strict_json(self):
+        rows = Planner().sweep([SMALL.replace(strategy="not-a-strategy")])
+
+        def reject(_):
+            raise ValueError("non-finite constant in payload")
+
+        payload = json.dumps([r.to_dict() for r in rows])
+        parsed = json.loads(payload, parse_constant=reject)  # no NaN/Inf
+        assert parsed[0]["iteration_time_s"] is None
+        assert parsed[0]["error"]
+
+    def test_errors_raise_restores_fail_fast(self):
+        with pytest.raises(ConfigurationError):
+            Planner().sweep([SMALL.replace(model="not-a-model")],
+                            errors="raise")
+
+    def test_bad_errors_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Planner().sweep([SMALL], errors="ignore")
+
+
+class TestParallelSweep:
+    SPECS = [SMALL.replace(strategy=s)
+             for s in ("perseus", "envpipe", "max-freq", "min-energy")]
+    SPECS += [SMALL.replace(microbatches=4), MIXED,
+              SMALL.replace(strategy="broken")]
+
+    def test_parallel_rows_match_serial(self):
+        serial = Planner().sweep(self.SPECS)
+        parallel = Planner().sweep(self.SPECS, jobs=3)
+        # error rows carry NaN scalars (NaN != NaN), so compare them by
+        # their error text and everything else by full row equality
+        assert [r.ok for r in parallel] == [r.ok for r in serial]
+        assert [r.error for r in parallel] == [r.error for r in serial]
+        assert [r for r in parallel if r.ok] == [r for r in serial if r.ok]
+
+    def test_parallel_merges_back_into_shared_cache(self):
+        planner = Planner()
+        planner.sweep(self.SPECS, jobs=2)
+        merged_profiles = planner.stats["profile"]
+        planner.plan(SMALL)  # must be served from the merged cache
+        assert planner.stats["profile"] == merged_profiles
+
+    def test_jobs_one_is_serial(self):
+        planner = Planner()
+        assert planner.sweep([SMALL], jobs=1)[0].ok
+
+    def test_post_sweep_characterization_records_in_parent(self):
+        # Frontier-free strategies leave the merged optimizer lazy; a
+        # later characterization must land in *this* planner's backend
+        # and stats, not the discarded worker's.
+        planner = Planner()
+        planner.sweep([SMALL.replace(strategy="max-freq"),
+                       SMALL.replace(strategy="min-energy")], jobs=2)
+        assert planner.stats["frontier"] == 0
+        planner.frontier_for(SMALL)
+        assert planner.stats["frontier"] == 1
+        assert len(list(planner.cache.items("frontier"))) == 1
+
+    def test_parallel_with_shared_store(self, tmp_path):
+        Planner(cache=tmp_path / "store").sweep(self.SPECS[:4], jobs=2)
+        warm = Planner(cache=tmp_path / "store")
+        warm.sweep(self.SPECS[:4], jobs=2)
+        assert expensive_work(warm) == {"profile": 0, "stage_profile": 0,
+                                        "tau": 0, "frontier": 0}
+
+
+class TestMixedClusterSpecsValidation:
+    """Satellite: GPU names are validated eagerly, with helpful errors."""
+
+    def test_unknown_pool_name_fails_fast(self):
+        with pytest.raises(ConfigurationError) as err:
+            mixed_cluster_specs(SMALL, ["a100", "a41"])
+        assert "a41" in str(err.value)
+        assert "known" in str(err.value)  # lists the registry
+
+    def test_unknown_per_stage_name_reports_stage(self):
+        with pytest.raises(ConfigurationError, match="stage 1"):
+            mixed_cluster_specs(SMALL, [["a100"], ["h1000"]])
+
+    def test_valid_pool_still_expands(self):
+        specs = mixed_cluster_specs(SMALL, ["a100", "a40"])
+        assert len(specs) == 4  # 2 choices ** 2 stages
+
+
+class TestServerSweep:
+    def test_submit_sweep_registers_and_serves_rows(self, tmp_path):
+        deployed = []
+        server = PerseusServer(deploy_callback=lambda j, p: deployed.append(j))
+        planner = Planner(cache=tmp_path / "store")
+        specs = [SMALL, SMALL.replace(strategy="envpipe"),
+                 SMALL.replace(model="not-a-model")]
+        rows = server.submit_sweep(specs, planner=planner, prefix="batch")
+        assert list(rows) == ["batch-0", "batch-1", "batch-2"]
+        assert [r.ok for r in rows.values()] == [True, True, False]
+        # only the healthy Perseus spec is deployable
+        assert deployed == ["batch-0"]
+        assert server.frontier_of("batch-0").t_min > 0
+        assert server.report_of("batch-2").error is not None
+        assert server.sweep_reports() == rows
+        # the whole batch characterized exactly one frontier
+        assert planner.stats["frontier"] == 1
+
+    def test_submit_sweep_reuses_cached_frontiers(self, tmp_path):
+        Planner(cache=tmp_path / "store").frontier_for(SMALL)
+        planner = Planner(cache=tmp_path / "store")
+        server = PerseusServer()
+        server.submit_sweep([SMALL], planner=planner)
+        assert planner.stats["frontier"] == 0  # adopted, not re-crawled
+
+    def test_duplicate_prefix_rejected(self):
+        from repro.exceptions import ServerError
+
+        server = PerseusServer()
+        server.submit_sweep([SMALL])
+        with pytest.raises(ServerError, match="prefix"):
+            server.submit_sweep([SMALL])
+
+    def test_register_spec_adopts_planner_frontier(self, tmp_path):
+        planner = Planner(cache=tmp_path / "store")
+        planner.frontier_for(SMALL)
+        warm = Planner(cache=tmp_path / "store")
+        server = PerseusServer()
+        server.register_spec("job", SMALL, planner=warm, blocking=True)
+        assert warm.stats["frontier"] == 0
+        assert server.frontier_of("job").t_min > 0
+
+
+class TestTwoProcessDemo:
+    """Acceptance: a second *process* reuses everything bit-for-bit."""
+
+    CMD = ["sweep", "bert-large", "--stages", "2", "--microbatches", "3",
+           "--freq-stride", "24", "--strategies", "perseus,envpipe"]
+
+    def _run(self, cache_dir, extra=()):
+        return subprocess.run(
+            [sys.executable, "-m", "repro"] + self.CMD
+            + ["--cache-dir", str(cache_dir)] + list(extra),
+            capture_output=True, text=True,
+            env=dict(os.environ,
+                     PYTHONPATH=os.path.join(os.path.dirname(__file__),
+                                             os.pardir, "src")),
+            check=True,
+        )
+
+    def test_second_process_does_zero_expensive_work(self, tmp_path):
+        store = tmp_path / "store"
+        first = self._run(store, ["--format", "json",
+                                  "-o", str(tmp_path / "a.json")])
+        assert "profiles=1" in first.stdout
+        second = self._run(store, ["--format", "json",
+                                   "-o", str(tmp_path / "b.json")])
+        assert "profiles=0 stage_sweeps=0 taus=0 frontiers=0" in second.stdout
+        a = json.loads((tmp_path / "a.json").read_text("utf-8"))
+        b = json.loads((tmp_path / "b.json").read_text("utf-8"))
+        assert a == b  # bit-identical rows across processes
