@@ -36,13 +36,14 @@ import itertools
 import math
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.frontier import Frontier
 from ..core.optimizer import PerseusOptimizer
-from ..core.store import MISS, CacheBackend, as_backend, stable_key
+from ..core.store import MISS, CacheBackend, PlanStore, as_backend, stable_key
 from ..exceptions import ConfigurationError, ReproError
 from ..gpu.specs import GPULike, GPUSpec, get_gpu, is_homogeneous, resolve_gpus
 from ..models.layers import ModelSpec
@@ -171,6 +172,15 @@ class PlanReport:
     )
     #: Why this spec failed (None on success).
     error: Optional[str] = None
+    #: The frontier crawl's instrumentation (``Frontier.stats["timings"]``:
+    #: kernel name, time in event passes / instance builds / max-flow
+    #: solves / schedule assembly, cut and repair counts) when this
+    #: plan's stack has a characterized frontier; ``None`` otherwise.
+    #: Diagnostics only -- excluded from :meth:`to_dict` and comparisons
+    #: so exported rows stay reproducible across runs.
+    timings: Optional[dict] = field(
+        default=None, repr=False, hash=False, compare=False
+    )
 
     @classmethod
     def failure(cls, spec: PlanSpec, error: BaseException) -> "PlanReport":
@@ -631,6 +641,13 @@ class Planner:
             stack.dag, frequencies, stack.profile
         )
         baseline = self.baseline_execution(spec)
+        # Surface the crawl instrumentation when the strategy forced (or
+        # a store seeded) a frontier; frontier-free baselines stay None.
+        optimizer = stack.optimizer
+        timings = (
+            dict(optimizer.frontier.stats.get("timings") or {})
+            if optimizer.is_characterized else None
+        ) or None
         return PlanReport(
             spec=spec,
             strategy=spec.strategy,
@@ -640,6 +657,7 @@ class Planner:
             baseline_energy_j=baseline.total_energy(),
             plan=dict(frequencies),
             execution=execution,
+            timings=timings,
         )
 
     def _plan_row(self, spec: PlanSpec, errors: str) -> PlanReport:
@@ -664,11 +682,17 @@ class Planner:
     ) -> List[PlanReport]:
         """Plan every spec, sharing all memoized stages, in input order.
 
-        ``jobs > 1`` runs the batch on a worker pool: each worker gets a
-        private planner over a snapshot view of this planner's cache
-        (sharing any persistent store), and the workers' results merge
-        back when the pool drains -- so the sweep's artifacts stay
-        available to later calls, exactly as in serial mode.
+        ``jobs > 1`` runs the batch on a worker pool.  With a persistent
+        :class:`~repro.core.store.PlanStore` attached, workers are
+        separate *processes*: each plans its chunk against the shared
+        store (true multi-core profiling/characterization, no GIL), and
+        the parent then adopts every artifact from disk to assemble the
+        report rows -- a pure warm-store pass that performs no expensive
+        work.  Without a store the pool falls back to threads: each
+        worker gets a private planner over a snapshot view of this
+        planner's cache, and the workers' results merge back when the
+        pool drains -- so the sweep's artifacts stay available to later
+        calls, exactly as in serial mode.
 
         ``errors="report"`` (default) isolates per-spec failures as
         error rows (``report.error`` set, scalars NaN) instead of
@@ -699,21 +723,30 @@ class Planner:
         return (spec.model, gpu, spec.stages, spec.microbatch_size,
                 spec.tensor_parallel, spec.effective_freq_stride)
 
-    def _sweep_parallel(
-        self, specs: List[PlanSpec], jobs: int, errors: str
-    ) -> List[PlanReport]:
-        # Workers plan on snapshot-isolated cache views, so two workers
-        # handed specs sharing a stack would each profile it.  Group by
-        # the profile-determining sub-key and keep every group on one
-        # worker (largest groups placed first, onto the least-loaded
-        # worker): the expensive work parallelizes across *stacks* and
-        # is never duplicated within one.
+    def _sweep_chunks(self, specs: List[PlanSpec], jobs: int) -> List[List[int]]:
+        """Spec indices per worker, stacks never split across workers.
+
+        Workers plan on isolated cache views (snapshots for threads,
+        processes for stores), so two workers handed specs sharing a
+        stack would each profile it.  Group by the profile-determining
+        sub-key and keep every group on one worker (largest groups
+        placed first, onto the least-loaded worker): the expensive work
+        parallelizes across *stacks* and is never duplicated within one.
+        """
         groups: Dict[tuple, List[int]] = {}
         for index, spec in enumerate(specs):
             groups.setdefault(self._stack_signature(spec), []).append(index)
         chunks: List[List[int]] = [[] for _ in range(min(jobs, len(groups)))]
         for indices in sorted(groups.values(), key=len, reverse=True):
             min(chunks, key=len).extend(indices)
+        return chunks
+
+    def _sweep_parallel(
+        self, specs: List[PlanSpec], jobs: int, errors: str
+    ) -> List[PlanReport]:
+        chunks = self._sweep_chunks(specs, jobs)
+        if isinstance(self._cache, PlanStore):
+            return self._sweep_processes(specs, chunks, errors)
         workers = [Planner(cache=self._cache.worker_view())
                    for _ in chunks]
 
@@ -742,6 +775,73 @@ class Planner:
                         self._record_frontier(key, frontier)
                 )
         return results  # type: ignore[return-value]
+
+    def _sweep_processes(
+        self, specs: List[PlanSpec], chunks: List[List[int]], errors: str
+    ) -> List[PlanReport]:
+        """Multi-process sweep over a shared persistent store.
+
+        Workers publish via the store, the parent adopts: each worker
+        process plans its chunk with a private ``Planner`` rooted at the
+        same store directory, persisting every partition / profile /
+        stage sweep / tau / frontier it computes.  The parent then plans
+        all specs serially -- every expensive stage is a disk hit, so
+        that pass only assembles report rows (and is where per-spec
+        error rows are produced, keeping ``errors`` semantics identical
+        to the serial path).  Worker stats merge into this planner's, so
+        the sweep's "work" accounting still reflects the profiling and
+        characterization actually performed.
+
+        A worker that dies (OOM, interpreter crash) costs nothing but
+        warmth: the parent pass recomputes whatever its chunk failed to
+        persist.
+        """
+        store: PlanStore = self._cache  # type: ignore[assignment]
+        payload_chunks = [
+            [specs[i].to_dict() for i in chunk] for chunk in chunks
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_sweep_store_worker, store.root, payloads)
+                    for payloads in payload_chunks
+                ]
+                for future in futures:
+                    worker_stats, worker_counters = future.result()
+                    for stat, count in worker_stats.items():
+                        self.stats[stat] = self.stats.get(stat, 0) + count
+                    for name, count in worker_counters.items():
+                        store.counters[name] = \
+                            store.counters.get(name, 0) + count
+        except (BrokenProcessPool, OSError):
+            # A dead pool (or a platform that cannot fork/spawn) leaves
+            # the store partially warm; the serial pass below still
+            # produces every row correctly.
+            pass
+        return [self._plan_row(spec, errors) for spec in specs]
+
+
+def _sweep_store_worker(
+    root: str, spec_payloads: List[dict]
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """One sweep worker process: warm the shared store with its chunk.
+
+    Returns the worker planner's (stats, cache counters) so the parent
+    can account the expensive work where it actually happened.  Spec
+    errors are swallowed -- the parent's adoption pass re-plans every
+    spec and reports them with full ``errors`` semantics.
+    """
+    # An explicit uncapped store: a capped one (REPRO_CACHE_MAX_BYTES is
+    # inherited by worker processes) would run LRU eviction concurrently
+    # with its siblings' writes -- the race worker_view() forbids.  Only
+    # the parent's store garbage collects.
+    planner = Planner(cache=PlanStore(root))
+    for payload in spec_payloads:
+        try:
+            planner.plan(PlanSpec.from_dict(payload))
+        except ReproError:
+            pass
+    return planner.stats, dict(planner.cache.counters)
 
 
 _DEFAULT_PLANNER: Optional[Planner] = None

@@ -19,6 +19,9 @@ Commands:
 * ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
   schedules for one or more anticipated slowdowns (degrees outside the
   frontier range are reported as clamped).
+* ``cache gc`` -- prune a persistent plan store to a size cap
+  (least-recently-used entries first, recency = file mtime refreshed on
+  every disk hit).  ``repro cache gc --max-bytes 200M``.
 * ``strategies`` / ``models`` / ``gpus`` -- list the strategy registry
   (name plus one-line description), the model zoo and the device
   registry.
@@ -47,6 +50,7 @@ store, exactly as if ``--cache-dir`` were passed where supported.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -111,6 +115,21 @@ def _spec_of(args, strategy: Optional[str] = None) -> PlanSpec:
     )
 
 
+def _print_timings(timings: Optional[dict]) -> None:
+    """Render a frontier crawl's ``stats["timings"]`` block."""
+    if not timings:
+        print("timings    : (no frontier characterized)")
+        return
+    print(f"timings    : kernel={timings.get('kernel', '?')} "
+          f"cuts={timings.get('cuts', 0)} "
+          f"repairs={timings.get('repairs', 0)}")
+    for name in ("event_times_s", "instance_build_s", "maxflow_s",
+                 "schedule_s"):
+        if name in timings:
+            label = name[:-2].replace("_", " ")
+            print(f"  {label:<15s}: {timings[name] * 1000.0:8.1f} ms")
+
+
 def cmd_plan(args) -> int:
     spec = _spec_of(args)
     planner = default_planner()
@@ -139,6 +158,12 @@ def cmd_plan(args) -> int:
     label = "intrinsic" if spec.strategy == "perseus" else "savings"
     print(f"{label:11s}: {report.energy_savings_pct:.1f}% energy saved at "
           f"{report.slowdown_pct:+.2f}% iteration time")
+    if args.timings:
+        # Force characterization so there is a crawl to report on, then
+        # show where its time went (kernel vs REPRO_SLOW_PATH oracle,
+        # event passes, instance builds, max-flow solves).
+        frontier = planner.frontier_for(spec)
+        _print_timings(frontier.stats.get("timings"))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fp:
             save_json(stack.frontier, fp)
@@ -311,6 +336,27 @@ def cmd_straggler(args) -> int:
     return 0
 
 
+def cmd_cache_gc(args) -> int:
+    from .api.planner import CACHE_DIR_ENV
+    from .core.store import PlanStore, parse_size
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        raise ReproError(
+            "cache gc needs a store: pass --cache-dir or set "
+            f"{CACHE_DIR_ENV}"
+        )
+    store = PlanStore(root)
+    before = store.disk_bytes()
+    result = store.gc(parse_size(args.max_bytes))
+    print(f"store      : {os.path.abspath(root)}")
+    print(f"before     : {before} bytes")
+    print(f"removed    : {result['removed']} entries "
+          f"({result['freed_bytes']} bytes, LRU by mtime)")
+    print(f"kept       : {result['kept_bytes']} bytes")
+    return 0
+
+
 def cmd_strategies(_args) -> int:
     names = list_strategies()
     width = max(len(name) for name in names)
@@ -345,6 +391,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="registered strategy name (see 'strategies')")
     p.add_argument("--output", "-o", default=None,
                    help="save the frontier as JSON")
+    p.add_argument("--timings", action="store_true",
+                   help="print the frontier crawl's timing breakdown "
+                        "(event passes, instance builds, max-flow)")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("compare",
@@ -393,6 +442,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--degrees", type=float, nargs="+",
                    default=[1.05, 1.1, 1.2, 1.3, 1.5])
     p.set_defaults(func=cmd_straggler)
+
+    p = sub.add_parser("cache", help="plan-store maintenance")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    g = cache_sub.add_parser(
+        "gc",
+        help="prune a plan store to a size cap (least-recently-used "
+             "entries, by file mtime, go first)",
+    )
+    g.add_argument("--cache-dir", default=None,
+                   help="store directory (default: $REPRO_CACHE_DIR)")
+    g.add_argument("--max-bytes", required=True,
+                   help="target size, e.g. 200M, 1G, or 0 to clear")
+    g.set_defaults(func=cmd_cache_gc)
 
     p = sub.add_parser("strategies", help="list registered strategies")
     p.set_defaults(func=cmd_strategies)

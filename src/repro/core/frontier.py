@@ -7,22 +7,42 @@ of its min-energy clock -- trivially Pareto-optimal), then repeatedly shave
 intermediate schedule.  The crawl ends at ``T_min`` (everything at the
 maximum clock), which is appended explicitly so both endpoints of §3.1 are
 always present.
+
+The crawl runs on the compiled flat-array kernel
+(:class:`~repro.graph.compiled.CompiledDag` + one
+:class:`~repro.graph.maxflow.FlowArena` reused across every min-cut):
+durations travel as ``array('d')`` indexed by computation id, and each
+accepted move reuses the kernel's event pass for every makespan check
+instead of re-deriving dict event times 3-4x per step.  Setting
+``REPRO_SLOW_PATH=1`` selects the original dict interpreter -- the
+bit-identical cross-check oracle.  Either way ``Frontier.stats["timings"]``
+records where the crawl's time went (event passes, instance builds,
+max-flow solves, schedule assembly) plus cut/repair counts, which is what
+``repro plan --timings`` and the hot-path benchmark surface.
 """
 
 from __future__ import annotations
 
 import time as _time
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import OptimizationError
 from ..graph.edgecentric import to_edge_centric
+from ..graph.maxflow import FlowArena
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import OpKey, PipelineProfile
 from ..units import TIME_EPS, ms
 from .costmodel import OpCostModel, build_cost_models
-from .nextschedule import get_next_schedule
+from .nextschedule import (
+    CostTable,
+    compiled_kernel,
+    get_next_schedule,
+    next_schedule_flat,
+    slow_path_enabled,
+)
 from .schedule import EnergySchedule, make_schedule
 
 #: Default planning granularity (1 ms, Appendix B.4).
@@ -124,23 +144,16 @@ def characterize_frontier(
         )
         max_steps = int(span / tau * 4) + 64
 
-    points: List[EnergySchedule] = []
-    durations = slowest
-    steps = 0
-    while True:
-        points.append(make_schedule(dag, durations, cost_models))
-        if points[-1].iteration_time <= t_min_schedule.iteration_time + TIME_EPS:
-            break
-        if steps >= max_steps:
-            break
-        nxt = get_next_schedule(ecd, durations, node_cost, tau)
-        if nxt is None:
-            break
-        new_time = dag.iteration_time(nxt)
-        if new_time >= points[-1].iteration_time - TIME_EPS:
-            break  # no forward progress; stop rather than loop
-        durations = nxt
-        steps += 1
+    if slow_path_enabled():
+        points, steps, timings = _crawl_dict(
+            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+            tau, max_steps,
+        )
+    else:
+        points, steps, timings = _crawl_flat(
+            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+            tau, max_steps,
+        )
 
     # Guarantee a T_min endpoint exists: if the crawl stalled more than one
     # tau short of T_min, fall back to the all-fastest schedule for the gap.
@@ -175,5 +188,137 @@ def characterize_frontier(
             "num_stages": dag.num_stages,
             "num_microbatches": dag.num_microbatches,
             "raw_points": len(points),
+            "timings": timings,
         },
     )
+
+
+def _new_timings(kernel: str) -> dict:
+    """The crawl's instrumentation record (``stats["timings"]``)."""
+    return {
+        "kernel": kernel,
+        "event_times_s": 0.0,
+        "instance_build_s": 0.0,
+        "maxflow_s": 0.0,
+        "schedule_s": 0.0,
+        "cuts": 0,
+        "repairs": 0,
+    }
+
+
+class _PointBuilder:
+    """Memoized :class:`EnergySchedule` assembly for the kernel crawl.
+
+    Per-computation energy / effective-energy terms and realized clocks
+    are pure functions of the computation's duration; between
+    consecutive crawl points only the cut computations change, so the
+    per-``(comp, duration)`` memo turns point assembly from ~4 fit
+    evaluations per computation into a dict hit.  Accumulation iterates
+    computations in id order -- the same order ``make_schedule`` sums --
+    and memoized floats are the values the direct calls produce, so
+    points stay bit-identical to the oracle's.
+    """
+
+    def __init__(self, dag, cost_models):
+        self._models = [
+            cost_models[dag.nodes[n].op_key] for n in sorted(dag.nodes)
+        ]
+        self._memo = {}
+
+    def point(self, durations, iteration_time) -> EnergySchedule:
+        memo = self._memo
+        models = self._models
+        effective = 0.0
+        compute = 0.0
+        freqs = {}
+        for comp, t in enumerate(durations):
+            entry = memo.get((comp, t))
+            if entry is None:
+                cm = models[comp]
+                e = cm.energy(t)
+                if cm.fixed:
+                    freq = cm.profile.measurements[0].freq_mhz
+                else:
+                    freq = cm.profile.frequency_for_time(t).freq_mhz
+                entry = (e, e - cm.p_blocking_w * t, freq)
+                memo[(comp, t)] = entry
+            e, eta_term, freq = entry
+            compute += e
+            effective += eta_term
+            freqs[comp] = freq
+        return EnergySchedule(
+            durations=dict(enumerate(durations)),
+            iteration_time=iteration_time,
+            effective_energy=effective,
+            compute_energy=compute,
+            frequencies=freqs,
+        )
+
+
+def _crawl_flat(
+    dag, ecd, node_cost, cost_models, t_min_schedule, slowest, tau, max_steps
+):
+    """The compiled-kernel crawl (the production path)."""
+    timings = _new_timings("flat")
+    kern = compiled_kernel(ecd, node_cost)
+    costs = [node_cost[c] for c in range(kern.num_comps)]
+    table = CostTable(costs, tau)
+    arena = FlowArena()
+    builder = _PointBuilder(dag, cost_models)
+    durations = array("d", (slowest[c] for c in range(kern.num_comps)))
+
+    start = _time.perf_counter()
+    earliest, makespan = kern.forward_pass(durations)
+    timings["event_times_s"] += _time.perf_counter() - start
+
+    points: List[EnergySchedule] = []
+    steps = 0
+    t_min_time = t_min_schedule.iteration_time
+    while True:
+        start = _time.perf_counter()
+        points.append(builder.point(durations, makespan))
+        timings["schedule_s"] += _time.perf_counter() - start
+        if points[-1].iteration_time <= t_min_time + TIME_EPS:
+            break
+        if steps >= max_steps:
+            break
+        nxt = next_schedule_flat(
+            kern, durations, costs, tau,
+            arena=arena, timings=timings,
+            start_makespan=makespan, start_earliest=earliest,
+            cost_table=table,
+        )
+        if nxt is None:
+            break
+        if nxt.makespan >= points[-1].iteration_time - TIME_EPS:
+            break  # no forward progress; stop rather than loop
+        durations, makespan, earliest = nxt
+        steps += 1
+    return points, steps, timings
+
+
+def _crawl_dict(
+    dag, ecd, node_cost, cost_models, t_min_schedule, slowest, tau, max_steps
+):
+    """The dict-oracle crawl (``REPRO_SLOW_PATH=1``), kept verbatim."""
+    timings = _new_timings("dict")
+    points: List[EnergySchedule] = []
+    durations = slowest
+    steps = 0
+    while True:
+        start = _time.perf_counter()
+        points.append(make_schedule(dag, durations, cost_models))
+        timings["schedule_s"] += _time.perf_counter() - start
+        if points[-1].iteration_time <= t_min_schedule.iteration_time + TIME_EPS:
+            break
+        if steps >= max_steps:
+            break
+        nxt = get_next_schedule(ecd, durations, node_cost, tau)
+        if nxt is None:
+            break
+        new_time = dag.iteration_time(nxt)
+        if new_time >= points[-1].iteration_time - TIME_EPS:
+            break  # no forward progress; stop rather than loop
+        durations = nxt
+        steps += 1
+    return points, steps, timings

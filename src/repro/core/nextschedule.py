@@ -29,19 +29,41 @@ Two robustness extensions beyond the paper's pseudocode:
 
 Returns ``None`` when the iteration time cannot be reduced further (an
 unspeedable critical path exists).
+
+Two implementations share this algorithm:
+
+* the **flat kernel** (:func:`next_schedule_flat`) -- durations travel as
+  ``array('d')`` indexed by computation id over a
+  :class:`~repro.graph.compiled.CompiledDag` and a reusable
+  :class:`~repro.graph.maxflow.FlowArena`; event times are computed once
+  per candidate move and reused for every makespan check.  This is what
+  :func:`~repro.core.frontier.characterize_frontier` runs.
+* the **dict oracle** -- the original dict-of-float interpreter, kept
+  verbatim and selected by setting ``REPRO_SLOW_PATH=1``.  Both paths
+  produce bit-identical schedules (enforced by
+  ``tests/test_compiled.py``), so the oracle is the ground truth any
+  kernel change must keep matching.
 """
 
 from __future__ import annotations
 
+import os
+from array import array
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from time import perf_counter
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from ..exceptions import InfeasibleFlowError, OptimizationError
+from ..graph.compiled import CompiledDag
 from ..graph.critical import critical_subgraph, event_times
 from ..graph.edgecentric import EdgeCentricDag
-from ..graph.lowerbounds import BoundedEdge, max_flow_with_lower_bounds
-from ..graph.maxflow import INF
+from ..graph.lowerbounds import (
+    BoundedEdge,
+    max_flow_with_lower_bounds_reference,
+    solve_bounded_arrays,
+)
+from ..graph.maxflow import INF, FlowArena
 from .costmodel import OpCostModel
 
 #: Floor for positive arc capacities; keeps zero-cost arcs from being cut
@@ -53,9 +75,494 @@ CAPACITY_FLOOR = 1e-9
 MAX_REPAIRS = 25
 
 
+def slow_path_enabled() -> bool:
+    """Whether ``REPRO_SLOW_PATH`` selects the dict oracle."""
+    return os.environ.get("REPRO_SLOW_PATH", "") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# Public entry point (dispatches kernel vs. oracle)
+# ---------------------------------------------------------------------------
+
+
+def get_next_schedule(
+    ecd: EdgeCentricDag,
+    durations: Dict[int, float],
+    node_cost: Dict[int, OpCostModel],
+    tau: float,
+) -> Optional[Dict[int, float]]:
+    """One Algorithm-2 step; returns the new durations or ``None``.
+
+    A single min-cut move can shave less than ``tau`` when cut edges hit
+    their fastest duration mid-step (partial speed-ups), so moves are
+    accumulated until the iteration time has dropped by ~``tau``.  Each
+    partial move retires at least one computation to its bound, so the
+    inner loop is finite.
+
+    Runs on the compiled flat-array kernel unless ``REPRO_SLOW_PATH=1``
+    selects the dict oracle; the two are bit-identical.
+
+    Args:
+        ecd: Edge-centric DAG of the whole iteration.
+        durations: Current planned duration per computation id.
+        node_cost: Cost model per computation id.
+        tau: Unit time to shave off the iteration (seconds).
+    """
+    if tau <= 0:
+        raise OptimizationError("tau must be positive")
+    if slow_path_enabled():
+        return _get_next_schedule_dict(ecd, durations, node_cost, tau)
+    kern = compiled_kernel(ecd, node_cost)
+    costs = [node_cost[c] for c in range(kern.num_comps)]
+    result = next_schedule_flat(
+        kern, kern.durations_array(durations), costs, tau
+    )
+    if result is None:
+        return None
+    return dict(enumerate(result[0]))
+
+
+def compiled_kernel(
+    ecd: EdgeCentricDag, node_cost: Dict[int, OpCostModel]
+) -> CompiledDag:
+    """The compiled kernel for ``ecd`` (cached on the DAG instance).
+
+    The cache is keyed on the cost-model mapping's identity: the baked
+    ``t_min``/``t_max`` vectors must match the models the caller plans
+    with, and one DAG is characterized against one profile at a time.
+    """
+    cached = getattr(ecd, "_compiled", None)
+    if cached is not None and cached[1] is node_cost:
+        return cached[0]
+    kern = CompiledDag.from_edge_centric(ecd, node_cost)
+    ecd._compiled = (kern, node_cost)
+    return kern
+
+
+# ---------------------------------------------------------------------------
+# Flat-array kernel (the production path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FlatInstance:
+    """The bounded min-cut instance for one Critical DAG (flat form).
+
+    ``crit`` doubles as the critical-edge index per bounded edge (the
+    instance's edges are exactly the critical edges, in order); ``binf``
+    marks upper bounds that were *assigned* infinite (mirrors the
+    oracle's ``ub is INF`` identity test).
+    """
+
+    bu: List[int]
+    bv: List[int]
+    blb: List[float]
+    bub: List[float]
+    binf: List[bool]
+    crit: List[int]
+    num_compact: int
+    s: int
+    t: int
+
+
+class FlatStep(NamedTuple):
+    """One accepted Algorithm-2 move on the compiled kernel."""
+
+    durations: array
+    makespan: float
+    #: Earliest event times of ``durations`` (reusable by the next
+    #: step's critical pass).
+    earliest: List[float]
+
+
+class CostTable:
+    """Memoized Eq. 8 quantities per ``(comp, duration)`` pair.
+
+    A frontier crawl re-evaluates ``speedup_cost``/``slowdown_gain`` --
+    two exponential-fit evaluations each -- for every critical edge on
+    every step, yet between consecutive steps only the cut computations
+    change duration.  ``tau`` is fixed per crawl, so the quadruple
+    ``(can_speed_up, can_slow_down, e+, e-)`` is a pure function of
+    ``(comp, t)`` and safely memoizable; cached entries are the same
+    float objects the direct calls would produce, so bit-identity with
+    the oracle is preserved.  Entries are bounded by (comps x distinct
+    durations per crawl), a few thousand at most.
+    """
+
+    __slots__ = ("costs", "tau", "_memo")
+
+    def __init__(self, costs: Sequence[OpCostModel], tau: float) -> None:
+        self.costs = costs
+        self.tau = tau
+        self._memo: Dict[Tuple[int, float], tuple] = {}
+
+    def entry(self, comp: int, t: float) -> tuple:
+        key = (comp, t)
+        cached = self._memo.get(key)
+        if cached is None:
+            cm = self.costs[comp]
+            tau = self.tau
+            cached = (
+                cm.can_speed_up(t, tau),
+                cm.can_slow_down(t, tau),
+                cm.speedup_cost(t, tau),
+                cm.slowdown_gain(t, tau),
+            )
+            self._memo[key] = cached
+        return cached
+
+
+def next_schedule_flat(
+    kern: CompiledDag,
+    durations: array,
+    costs: Sequence[OpCostModel],
+    tau: float,
+    arena: Optional[FlowArena] = None,
+    timings: Optional[dict] = None,
+    start_makespan: Optional[float] = None,
+    start_earliest: Optional[List[float]] = None,
+    cost_table: Optional[CostTable] = None,
+) -> Optional[FlatStep]:
+    """One Algorithm-2 step on the compiled kernel.
+
+    Args:
+        kern: Compiled DAG (with baked ``t_min``/``t_max`` vectors).
+        durations: Current durations, ``array('d')`` indexed by comp id.
+        costs: Cost model per comp id (list indexed by comp id).
+        tau: Unit time to shave off the iteration (seconds).
+        arena: Reusable max-flow buffers (one per crawl).
+        timings: Optional accumulator; bumps ``event_times_s`` /
+            ``instance_build_s`` / ``maxflow_s`` / ``cuts`` / ``repairs``.
+        start_makespan: Known makespan of ``durations`` (skips one pass).
+        start_earliest: Earliest event times matching ``start_makespan``
+            (a prior step's :attr:`FlatStep.earliest`).
+        cost_table: Crawl-scoped :class:`CostTable` (fresh if omitted).
+
+    Returns:
+        A :class:`FlatStep` (fresh duration array; the input is never
+        mutated) or ``None`` when time is irreducible.
+    """
+    if tau <= 0:
+        raise OptimizationError("tau must be positive")
+    if kern.t_min is None or kern.t_max is None:
+        raise OptimizationError(
+            "kernel was compiled without cost models; use "
+            "CompiledDag.from_edge_centric(ecd, node_cost)"
+        )
+    if cost_table is None:
+        cost_table = CostTable(costs, tau)
+    if start_makespan is None or start_earliest is None:
+        start_earliest, start_makespan = _timed_forward(
+            kern, durations, timings
+        )
+    current = durations
+    cur_makespan = start_makespan
+    cur_earliest: Optional[List[float]] = start_earliest
+    moved = False
+    max_inner = max(32, kern.num_comps)
+    for _ in range(max_inner):
+        nxt = _solve_one_cut_flat(
+            kern, current, cur_makespan, cur_earliest, cost_table, tau,
+            arena, timings,
+        )
+        if nxt is None:
+            break
+        current, cur_makespan, cur_earliest = nxt
+        moved = True
+        if start_makespan - cur_makespan >= 0.9 * tau:
+            break
+    if not moved:
+        return None
+    if start_makespan - cur_makespan < 1e-12:
+        return None
+    return FlatStep(current, cur_makespan, cur_earliest)
+
+
+def _timed_forward(kern, durations, timings) -> Tuple[List[float], float]:
+    start = perf_counter()
+    earliest, makespan = kern.forward_pass(durations)
+    if timings is not None:
+        timings["event_times_s"] += perf_counter() - start
+    return earliest, makespan
+
+
+def _solve_one_cut_flat(
+    kern, current, cur_makespan, cur_earliest, table, tau, arena, timings
+) -> Optional[FlatStep]:
+    """One min-cut move (with energy repairs); None if time is irreducible."""
+    for _ in range(MAX_REPAIRS):
+        t0 = perf_counter()
+        info = kern.critical_pass(current, forward=cur_earliest)
+        t1 = perf_counter()
+        inst = _build_instance_flat(kern, current, table, info.critical)
+        if timings is not None:
+            t2 = perf_counter()
+            timings["event_times_s"] += t1 - t0
+            timings["instance_build_s"] += t2 - t1
+        if inst is None:
+            return None
+        t0 = perf_counter()
+        try:
+            _, _, mask = solve_bounded_arrays(
+                inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+                inst.s, inst.t, arena=arena, need_flows=False,
+            )
+        except InfeasibleFlowError as err:
+            if timings is not None:
+                timings["maxflow_s"] += perf_counter() - t0
+                timings["cuts"] += 1
+            repaired = None
+            if err.violating_set:
+                repaired = _apply_repair_flat(
+                    kern, current, tau, inst, err.violating_set
+                )
+            if repaired is not None:
+                rep_earliest, rep_makespan = _timed_forward(
+                    kern, repaired, timings
+                )
+                if rep_makespan <= cur_makespan + 1e-12:
+                    current = repaired
+                    cur_makespan = rep_makespan
+                    cur_earliest = rep_earliest
+                    if timings is not None:
+                        timings["repairs"] += 1
+                    continue
+            # Repair unavailable: drop the slowdown credits for this step.
+            inst = _FlatInstance(
+                inst.bu, inst.bv, [0.0] * len(inst.blb), inst.bub,
+                inst.binf, inst.crit, inst.num_compact, inst.s, inst.t,
+            )
+            t0 = perf_counter()
+            _, _, mask = solve_bounded_arrays(
+                inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+                inst.s, inst.t, arena=arena, need_flows=False,
+            )
+        if timings is not None:
+            timings["maxflow_s"] += perf_counter() - t0
+            timings["cuts"] += 1
+        return _apply_cut_flat(
+            kern, current, cur_makespan, tau, inst, mask, timings
+        )
+    return _fallback_speedup_only_flat(
+        kern, current, cur_makespan, cur_earliest, table, tau, arena, timings
+    )
+
+
+def _build_instance_flat(
+    kern, current, table: CostTable, crit: List[int]
+) -> Optional[_FlatInstance]:
+    """Critical DAG -> Eq. 8 capacities; None if time is irreducible."""
+    eu, ev, ecomp = kern.edge_u, kern.edge_v, kern.edge_comp
+
+    entries: List[Optional[tuple]] = [None] * len(crit)
+    speedable = [False] * len(crit)
+    for j, idx in enumerate(crit):
+        comp = ecomp[idx]
+        if comp < 0:
+            continue
+        entry = table.entry(comp, current[comp])
+        entries[j] = entry
+        speedable[j] = entry[0]
+
+    if _has_unspeedable_path_flat(kern, crit, speedable):
+        return None
+
+    # Compact node ids over the critical subgraph's nodes (plus s and t),
+    # assigned in increasing node-id order (== sorted(crit_nodes)).
+    crit_nodes = {kern.s, kern.t}
+    for idx in crit:
+        crit_nodes.add(eu[idx])
+        crit_nodes.add(ev[idx])
+    compact = {node: i for i, node in enumerate(sorted(crit_nodes))}
+    num_compact = len(compact)
+
+    bu: List[int] = []
+    bv: List[int] = []
+    blb: List[float] = []
+    bub: List[float] = []
+    binf: List[bool] = []
+    for j, idx in enumerate(crit):
+        entry = entries[j]
+        if entry is None:  # dependency edge
+            lb, ub, is_inf = 0.0, INF, True
+        else:
+            can_up, can_down, e_plus, e_minus = entry
+            if can_up:
+                ub = max(e_plus, CAPACITY_FLOOR)
+                is_inf = False
+            else:
+                ub, is_inf = INF, True
+            lb = max(e_minus, 0.0) if can_down else 0.0
+            if lb > ub:
+                # Convexity guarantees e- <= e+ for exact fits; float dust
+                # can still invert them by a hair.
+                lb = ub
+        bu.append(compact[eu[idx]])
+        bv.append(compact[ev[idx]])
+        blb.append(lb)
+        bub.append(ub)
+        binf.append(is_inf)
+    return _FlatInstance(
+        bu, bv, blb, bub, binf, crit, num_compact,
+        compact[kern.s], compact[kern.t],
+    )
+
+
+def _has_unspeedable_path_flat(kern, crit, speedable) -> bool:
+    """True if s reaches t through critical edges that cannot speed up."""
+    eu, ev = kern.edge_u, kern.edge_v
+    adj: Dict[int, List[int]] = {}
+    for j, idx in enumerate(crit):
+        if speedable[j]:
+            continue
+        adj.setdefault(eu[idx], []).append(ev[idx])
+    seen = {kern.s}
+    queue = deque([kern.s])
+    target = kern.t
+    while queue:
+        u = queue.popleft()
+        if u == target:
+            return True
+        for v in adj.get(u, ()):
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return False
+
+
+def _apply_repair_flat(
+    kern, current, tau, inst: _FlatInstance, violating: Set[int]
+) -> Optional[array]:
+    """Apply the negative cut exposed by an infeasible lower-bound flow.
+
+    ``violating`` is a compact-id node set whose cut value
+    ``sum(e+) - sum(e-)`` is negative; see the oracle's ``_apply_repair``
+    for the reasoning.  Returns repaired durations, or ``None`` if the
+    move is not actually improving (float-edge cases).
+    """
+    ecomp = kern.edge_comp
+    crit = inst.crit
+    delta = 0.0
+    speed: List[int] = []
+    slow: List[int] = []
+    for i in range(len(inst.bu)):
+        u_in = inst.bu[i] in violating
+        v_in = inst.bv[i] in violating
+        comp = ecomp[crit[i]]
+        if u_in and not v_in:
+            if comp < 0 or inst.binf[i]:
+                return None  # cut crosses an unspeedable edge: not a move
+            delta += inst.bub[i]
+            speed.append(comp)
+        elif v_in and not u_in:
+            if comp >= 0 and inst.blb[i] > 0.0:
+                delta -= inst.blb[i]
+                slow.append(comp)
+    if delta >= -1e-12 or not speed:
+        return None
+
+    new_durations = array("d", current)
+    t_min, t_max = kern.t_min, kern.t_max
+    for comp in speed:
+        new_durations[comp] = max(new_durations[comp] - tau, t_min[comp])
+    for comp in slow:
+        new_durations[comp] = min(new_durations[comp] + tau, t_max[comp])
+    return new_durations
+
+
+def _apply_cut_flat(
+    kern, current, cur_makespan, tau, inst: _FlatInstance, mask, timings
+) -> Optional[FlatStep]:
+    """Apply a solved min cut: speed S->T edges, slow T->S edges."""
+    bu, bv = inst.bu, inst.bv
+    forward: List[int] = []
+    backward: List[int] = []
+    for i in range(len(bu)):
+        u_in = mask[bu[i]]
+        v_in = mask[bv[i]]
+        if u_in and not v_in:
+            forward.append(i)
+        elif v_in and not u_in:
+            backward.append(i)
+    if not forward:
+        return None
+
+    ecomp = kern.edge_comp
+    crit = inst.crit
+    t_min, t_max = kern.t_min, kern.t_max
+    new_durations = array("d", current)
+    for i in forward:
+        comp = ecomp[crit[i]]
+        if comp < 0:
+            raise OptimizationError(
+                "min cut crossed an infinite-capacity dependency edge"
+            )
+        new_durations[comp] = max(new_durations[comp] - tau, t_min[comp])
+    speedup_only = array("d", new_durations)
+    for i in backward:
+        comp = ecomp[crit[i]]
+        if comp < 0 or inst.blb[i] <= 0.0:
+            continue  # nothing to gain from slowing this edge
+        new_durations[comp] = min(new_durations[comp] + tau, t_max[comp])
+
+    # Slowing T->S cut edges is exact on the Critical DAG, but a slowed
+    # computation may sit on a *non-critical* path whose slack is < tau
+    # (and partially sped forward edges shorten paths by less than tau),
+    # eating into (or negating) the reduction.  Verify and fall back to
+    # the speedup-only schedule, which always shortens the critical paths.
+    if backward:
+        new_earliest, new_makespan = _timed_forward(
+            kern, new_durations, timings
+        )
+        if new_makespan >= cur_makespan - 1e-12:
+            so_earliest, so_makespan = _timed_forward(
+                kern, speedup_only, timings
+            )
+            return FlatStep(speedup_only, so_makespan, so_earliest)
+        return FlatStep(new_durations, new_makespan, new_earliest)
+    earliest, makespan = _timed_forward(kern, new_durations, timings)
+    return FlatStep(new_durations, makespan, earliest)
+
+
+def _fallback_speedup_only_flat(
+    kern, current, cur_makespan, cur_earliest, table, tau, arena, timings
+) -> Optional[FlatStep]:
+    """Last resort after repair ping-pong: pure speedup min cut."""
+    t0 = perf_counter()
+    info = kern.critical_pass(current, forward=cur_earliest)
+    t1 = perf_counter()
+    inst = _build_instance_flat(kern, current, table, info.critical)
+    if timings is not None:
+        t2 = perf_counter()
+        timings["event_times_s"] += t1 - t0
+        timings["instance_build_s"] += t2 - t1
+    if inst is None:
+        return None
+    inst = _FlatInstance(
+        inst.bu, inst.bv, [0.0] * len(inst.blb), inst.bub,
+        inst.binf, inst.crit, inst.num_compact, inst.s, inst.t,
+    )
+    t0 = perf_counter()
+    _, _, mask = solve_bounded_arrays(
+        inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+        inst.s, inst.t, arena=arena, need_flows=False,
+    )
+    if timings is not None:
+        timings["maxflow_s"] += perf_counter() - t0
+        timings["cuts"] += 1
+    return _apply_cut_flat(
+        kern, current, cur_makespan, tau, inst, mask, timings
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dict oracle (REPRO_SLOW_PATH=1) -- the original interpreter, verbatim
+# ---------------------------------------------------------------------------
+
+
 @dataclass
 class _StepInstance:
-    """The bounded min-cut instance for one Critical DAG."""
+    """The bounded min-cut instance for one Critical DAG (oracle form)."""
 
     bounded: List[BoundedEdge]
     edge_of_bounded: List[int]  # critical-edge index per bounded edge
@@ -205,7 +712,7 @@ def _solve_one_cut(
         if inst is None:
             return None
         try:
-            result = max_flow_with_lower_bounds(
+            result = max_flow_with_lower_bounds_reference(
                 len(inst.node_index), inst.bounded, inst.s, inst.t
             )
         except InfeasibleFlowError as err:
@@ -221,7 +728,7 @@ def _solve_one_cut(
                     continue
             # Repair unavailable: drop the slowdown credits for this step.
             bounded = [BoundedEdge(e.u, e.v, 0.0, e.ub) for e in inst.bounded]
-            result = max_flow_with_lower_bounds(
+            result = max_flow_with_lower_bounds_reference(
                 len(inst.node_index), bounded, inst.s, inst.t
             )
             inst = _StepInstance(
@@ -231,29 +738,13 @@ def _solve_one_cut(
     return _fallback_speedup_only(ecd, current, node_cost, tau)
 
 
-def get_next_schedule(
+def _get_next_schedule_dict(
     ecd: EdgeCentricDag,
     durations: Dict[int, float],
     node_cost: Dict[int, OpCostModel],
     tau: float,
 ) -> Optional[Dict[int, float]]:
-    """One Algorithm-2 step; returns the new durations or ``None``.
-
-    A single min-cut move can shave less than ``tau`` when cut edges hit
-    their fastest duration mid-step (partial speed-ups), so moves are
-    accumulated until the iteration time has dropped by ~``tau``.  Each
-    partial move retires at least one computation to its bound, so the
-    inner loop is finite.
-
-    Args:
-        ecd: Edge-centric DAG of the whole iteration.
-        durations: Current planned duration per computation id.
-        node_cost: Cost model per computation id.
-        tau: Unit time to shave off the iteration (seconds).
-    """
-    if tau <= 0:
-        raise OptimizationError("tau must be positive")
-
+    """The dict-of-float oracle behind ``REPRO_SLOW_PATH=1``."""
     start_makespan = event_times(ecd, durations).makespan
     current = durations
     max_inner = max(32, len(durations))
@@ -311,7 +802,7 @@ def _fallback_speedup_only(ecd, current, node_cost, tau):
     if inst is None:
         return None
     bounded = [BoundedEdge(e.u, e.v, 0.0, e.ub) for e in inst.bounded]
-    result = max_flow_with_lower_bounds(
+    result = max_flow_with_lower_bounds_reference(
         len(inst.node_index), bounded, inst.s, inst.t
     )
     inst = _StepInstance(

@@ -52,7 +52,7 @@ import json
 import os
 import tempfile
 import threading
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable, Optional, Union
 
 from ..exceptions import ReproError
 from .serialization import (
@@ -233,12 +233,28 @@ class PlanStore(MemoryCache):
     (temp file + ``os.replace``), skipping files that already exist --
     content addressing makes rewrites pointless -- so concurrent sweep
     workers sharing one root never corrupt each other.
+
+    ``max_bytes`` caps the on-disk footprint: when a write pushes the
+    store past the cap, the least-recently-used entries (by file mtime;
+    disk hits refresh it) are pruned until the store fits again.  The
+    cap is per-store-object -- worker views created for a sweep pool
+    deliberately carry no cap, so only the owning store garbage
+    collects.  :meth:`gc` runs the same pruning on demand (the
+    ``repro cache gc`` subcommand).
     """
 
-    def __init__(self, root: os.PathLike) -> None:
+    def __init__(self, root: os.PathLike,
+                 max_bytes: Optional[int] = None) -> None:
         super().__init__()
         self.root = os.fspath(root)
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError("max_bytes must be non-negative")
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
+        #: Running on-disk footprint estimate (scanned once, bumped per
+        #: write) so a capped store does not re-walk every entry on
+        #: every put; :meth:`gc` re-syncs it with the exact scan.
+        self._disk_estimate: Optional[int] = None
         #: Paths whose existing file failed to load (corrupt or from an
         #: old payload version): ``put`` must overwrite these, not skip.
         self._stale: set = set()
@@ -308,6 +324,10 @@ class PlanStore(MemoryCache):
                 self.counters.get("disk_misses", 0) + 1
             return MISS
         self.counters["disk_hits"] = self.counters.get("disk_hits", 0) + 1
+        try:
+            os.utime(path)  # refresh LRU recency for the GC policy
+        except OSError:
+            pass
         super().put(namespace, key, value)
         return value
 
@@ -326,12 +346,23 @@ class PlanStore(MemoryCache):
             self._stale.discard(path)
             self.counters["disk_writes"] = \
                 self.counters.get("disk_writes", 0) + 1
+            written = len(text.encode("utf-8"))
+        if self.max_bytes is not None:
+            if self._disk_estimate is None:
+                self._disk_estimate = self.disk_bytes()
+            else:
+                self._disk_estimate += written
+            if self._disk_estimate > self.max_bytes:
+                self.gc(self.max_bytes)
 
     def clear(self) -> None:
         """Drop the memory tier only; the on-disk store is durable."""
         super().clear()
 
     def worker_view(self) -> "PlanStore":
+        # Deliberately no max_bytes: concurrent workers pruning entries
+        # the parent (or a sibling) is about to read would turn the LRU
+        # policy into a race; only the owning store garbage collects.
         view = PlanStore(self.root)
         with self._mutex:
             view._tables = {ns: dict(table)
@@ -348,19 +379,121 @@ class PlanStore(MemoryCache):
             if name.endswith(".json")
         )
 
+    # -- eviction ------------------------------------------------------------
+    def _disk_entries(self) -> list:
+        """(mtime, size, path) of every persisted entry file."""
+        entries = []
+        for namespace in PERSISTENT_NAMESPACES:
+            directory = os.path.join(self.root, namespace)
+            if not os.path.isdir(directory):
+                continue
+            for name in os.listdir(directory):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # concurrently pruned
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Total size of the persisted entries (the stamp is excluded)."""
+        return sum(size for _, size, _ in self._disk_entries())
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Prune least-recently-used entries until the store fits.
+
+        ``max_bytes`` defaults to the store's configured cap; ``0``
+        clears every persisted entry.  Recency is file mtime: writes
+        create it, disk hits refresh it, so untouched artifacts age
+        out first.  Removal is remove-if-present -- concurrent stores
+        pruning the same root race benignly.  Returns
+        ``{"removed", "freed_bytes", "kept_bytes"}``.
+
+        Pruned entries disappear from disk only; values already
+        promoted to this process's memory tier stay served from there
+        (and a later ``put`` re-persists them).
+        """
+        cap = self.max_bytes if max_bytes is None else max_bytes
+        if cap is None:
+            raise StoreError("gc needs a size cap (max_bytes)")
+        if cap < 0:
+            raise StoreError("max_bytes must be non-negative")
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        entries.sort()  # oldest mtime first
+        for mtime, size, path in entries:
+            if total - freed <= cap:
+                break
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+            self._stale.discard(path)
+        self.counters["gc_removed"] = \
+            self.counters.get("gc_removed", 0) + removed
+        self._disk_estimate = total - freed
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept_bytes": total - freed,
+        }
+
+
+#: Environment variable giving path-constructed stores a size cap
+#: (``as_backend``); accepts :func:`parse_size` suffixes.
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
+
+_SIZE_SUFFIXES = {"": 1, "K": 1024, "M": 1024 ** 2, "G": 1024 ** 3,
+                  "T": 1024 ** 4}
+
+
+def parse_size(text: Union[str, int]) -> int:
+    """``"200M"`` / ``"1G"`` / ``"1048576"`` -> bytes (binary suffixes).
+
+    A trailing ``B`` is tolerated (``"200MB"``); fractions work
+    (``"1.5G"``).  Raises :class:`StoreError` on anything else.
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise StoreError("size must be non-negative")
+        return text
+    raw = text.strip().upper()
+    if raw.endswith("B"):
+        raw = raw[:-1]
+    suffix = raw[-1:] if raw[-1:] in _SIZE_SUFFIXES else ""
+    number = raw[: len(raw) - len(suffix)] if suffix else raw
+    try:
+        value = float(number)
+    except ValueError:
+        raise StoreError(f"cannot parse size {text!r} (use e.g. 200M, 1G)")
+    if value < 0:
+        raise StoreError("size must be non-negative")
+    return int(value * _SIZE_SUFFIXES[suffix])
+
 
 def as_backend(cache) -> CacheBackend:
     """Coerce a user-facing ``cache`` argument to a backend.
 
     ``None`` -> fresh :class:`MemoryCache`; a path -> :class:`PlanStore`
-    rooted there; an existing backend passes through (shared stores).
+    rooted there (capped at ``REPRO_CACHE_MAX_BYTES`` when that is
+    set); an existing backend passes through (shared stores).
     """
     if cache is None:
         return MemoryCache()
     if isinstance(cache, CacheBackend):
         return cache
     if isinstance(cache, (str, os.PathLike)):
-        return PlanStore(cache)
+        cap = os.environ.get(CACHE_MAX_BYTES_ENV)
+        return PlanStore(cache, max_bytes=parse_size(cap) if cap else None)
     raise TypeError(
         f"cache must be None, a directory path or a CacheBackend, "
         f"got {type(cache).__name__}"

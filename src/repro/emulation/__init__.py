@@ -12,6 +12,7 @@ from .largescale import (
     emulated_intrinsic_savings,
     emulated_straggler_savings,
     microbatch_sweep,
+    optimizer_timings,
     prepare_emulation,
     t_star_ratio,
     table5_configs,
@@ -29,6 +30,7 @@ __all__ = [
     "emulated_intrinsic_savings",
     "emulated_straggler_savings",
     "microbatch_sweep",
+    "optimizer_timings",
     "prepare_emulation",
     "t_star_ratio",
     "table5_configs",

@@ -245,6 +245,24 @@ def t_star_ratio(setup: EmulationSetup) -> float:
     return frontier.t_star / frontier.t_min
 
 
+def optimizer_timings(setup: EmulationSetup) -> Dict[str, object]:
+    """The §6.5 overhead view of one emulated pipeline's optimizer.
+
+    Returns the frontier crawl's instrumentation
+    (``Frontier.stats["timings"]``: kernel name, event-pass /
+    instance-build / max-flow seconds, cut and repair counts) plus the
+    total ``runtime_s`` -- what the paper reports as per-frontier
+    optimizer runtime.  Forces characterization if it has not happened
+    yet; a store-loaded frontier reports the timings of the process that
+    originally crawled it.
+    """
+    frontier = setup.optimizer.frontier
+    timings = dict(frontier.stats.get("timings") or {})
+    timings["runtime_s"] = frontier.optimizer_runtime_s
+    timings["steps"] = frontier.steps
+    return timings
+
+
 def microbatch_sweep(
     model_name: str,
     gpu: GPUSpec,

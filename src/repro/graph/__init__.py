@@ -1,5 +1,6 @@
 """Graph algorithms: max-flow, bounded min-cut, critical-path analysis."""
 
+from .compiled import CompiledDag, FlatTimes
 from .critical import (
     EventTimes,
     critical_computations,
@@ -9,16 +10,24 @@ from .critical import (
     event_times,
 )
 from .edgecentric import ECEdge, EdgeCentricDag, to_edge_centric
-from .lowerbounds import BoundedEdge, MinCutResult, max_flow_with_lower_bounds
-from .maxflow import FLOW_EPS, INF, Dinic, FlowNetwork, edmonds_karp
+from .lowerbounds import (
+    BoundedEdge,
+    MinCutResult,
+    max_flow_with_lower_bounds,
+    solve_bounded_arrays,
+)
+from .maxflow import FLOW_EPS, INF, Dinic, FlowArena, FlowNetwork, edmonds_karp
 
 __all__ = [
     "BoundedEdge",
+    "CompiledDag",
     "Dinic",
     "ECEdge",
     "EdgeCentricDag",
     "EventTimes",
     "FLOW_EPS",
+    "FlatTimes",
+    "FlowArena",
     "FlowNetwork",
     "INF",
     "MinCutResult",
@@ -29,5 +38,6 @@ __all__ = [
     "edmonds_karp",
     "event_times",
     "max_flow_with_lower_bounds",
+    "solve_bounded_arrays",
     "to_edge_centric",
 ]

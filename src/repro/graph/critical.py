@@ -10,7 +10,7 @@ this subgraph alone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..units import TIME_EPS
 from .edgecentric import ECEdge, EdgeCentricDag
@@ -66,7 +66,7 @@ def event_times(
 def critical_edge_indices(
     ecd: EdgeCentricDag,
     durations: Dict[int, float],
-    times: EventTimes = None,
+    times: Optional[EventTimes] = None,
     eps: float = TIME_EPS,
 ) -> List[int]:
     """Indices of edges with zero slack (on some critical path)."""

@@ -11,15 +11,23 @@ Following the paper, we:
 3. remove the ``t -> s`` arc and augment ``s -> t`` in the residual to reach
    a maximum feasible flow,
 4. read the minimum cut as the residual-reachable side.
+
+There is exactly one implementation of this transform,
+:func:`solve_bounded_arrays`, operating on parallel flat arrays over a
+reusable :class:`~.maxflow.FlowArena` (the optimizer hot path passes a
+long-lived arena so the thousands of min-cut calls per frontier crawl
+reuse one set of buffers).  :func:`max_flow_with_lower_bounds` is the
+object-level wrapper over the same core, so both the compiled kernel
+and the ``REPRO_SLOW_PATH=1`` dict oracle produce bit-identical cuts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from ..exceptions import GraphError, InfeasibleFlowError
-from .maxflow import FLOW_EPS, INF, Dinic, FlowNetwork
+from .maxflow import FLOW_EPS, INF, Dinic, FlowArena, FlowNetwork
 
 
 @dataclass(frozen=True)
@@ -59,13 +67,172 @@ class MinCutResult:
         return forward, backward
 
 
+def solve_bounded_arrays(
+    num_nodes: int,
+    edge_u: Sequence[int],
+    edge_v: Sequence[int],
+    lower: Sequence[float],
+    upper: Sequence[float],
+    s: int,
+    t: int,
+    arena: Optional[FlowArena] = None,
+    need_flows: bool = True,
+) -> Tuple[float, Optional[List[float]], bytearray]:
+    """Core bounded max-flow over parallel edge arrays.
+
+    Returns ``(max_flow, per-edge flows, source-side mask)``; the mask
+    covers the ``num_nodes + 2`` transformed nodes (the two dummies are
+    the last slots).  Raises :class:`InfeasibleFlowError` -- with
+    ``violating_set`` populated -- when no feasible flow exists.
+    ``arena`` supplies reusable buffers; a private one is created per
+    call when omitted (identical results either way).  Callers that only
+    read the cut (the optimizer applies the S/T side membership, never
+    the per-edge flows) pass ``need_flows=False`` to skip flow
+    extraction; ``max_flow`` and ``flows`` are then ``0.0`` / ``None``.
+    """
+    if not (0 <= s < num_nodes and 0 <= t < num_nodes) or s == t:
+        raise GraphError("bad source/sink")
+
+    net = (arena if arena is not None else FlowArena()).reset(num_nodes + 2)
+    s2, t2 = num_nodes, num_nodes + 1
+
+    # Reduced-capacity arcs for the original edges, appended straight
+    # into the arena buffers (same arc-pair layout as ``add_edge``, with
+    # per-call method dispatch hoisted out of the loop).  ``touched``
+    # records nodes in first-appearance order (v then u per edge) -- the
+    # same order dict insertion gave the node-excess table historically,
+    # so the dummy arcs below are added in the same sequence.
+    num_edges = len(edge_u)
+    excess = [0.0] * num_nodes
+    seen = bytearray(num_nodes)
+    touched: List[int] = []
+    touch = touched.append
+    to, cap, head = net.to, net.cap, net.head
+    to_append, cap_append = to.append, cap.append
+    arc = 0
+    for u, v, lb, ub in zip(edge_u, edge_v, lower, upper):
+        reduced = ub - lb
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise GraphError(f"arc ({u}, {v}) out of range")
+        if reduced < 0:
+            raise GraphError("capacity must be non-negative")
+        to_append(v)
+        cap_append(reduced)
+        head[u].append(arc)
+        to_append(u)
+        cap_append(0.0)
+        head[v].append(arc + 1)
+        arc += 2
+        if not seen[v]:
+            seen[v] = 1
+            touch(v)
+        excess[v] += lb
+        if not seen[u]:
+            seen[u] = 1
+            touch(u)
+        excess[u] -= lb
+
+    # Dummy arcs forcing the lower bounds (node-excess formulation,
+    # equivalent to Algorithm 3's per-node sums).
+    head_s2, head_t2 = head[s2], head[t2]
+    required = 0.0
+    for v in touched:
+        ex = excess[v]
+        if ex > FLOW_EPS:
+            to_append(v)
+            cap_append(ex)
+            head_s2.append(arc)
+            to_append(s2)
+            cap_append(0.0)
+            head[v].append(arc + 1)
+            arc += 2
+            required += ex
+        elif ex < -FLOW_EPS:
+            to_append(t2)
+            cap_append(-ex)
+            head[v].append(arc)
+            to_append(v)
+            cap_append(0.0)
+            head_t2.append(arc + 1)
+            arc += 2
+
+    # Allow circulation through the original source/sink.
+    ts_arc = net.add_edge(t, s, INF)
+
+    if required > 0.0:
+        # (With no positive excess the dummy source has no arcs: the
+        # feasibility solve is a no-op and is skipped outright.)
+        feasibility_flow = net.max_flow(s2, t2)
+        if feasibility_flow < required - 1e-6 * max(1.0, required):
+            # Expose the violating side: nodes reachable from the dummy
+            # source in the residual form a set whose mandatory in-flow
+            # exceeds its out-capacity (Hoffman's condition).  Callers can
+            # turn this into an energy-improving repair move (see
+            # core.nextschedule).  The solver's final BFS (from s2) is
+            # exactly that reachability.
+            mask = net.level_mask()
+            violating = {n for n in range(num_nodes) if mask[n]}
+            err = InfeasibleFlowError(
+                f"no feasible flow: pushed {feasibility_flow:.6g} of "
+                f"{required:.6g}"
+            )
+            err.violating_set = violating
+            raise err
+
+    # Remove the circulation arc and augment s -> t on the residual.
+    net.zero_arc(ts_arc)
+    extra = net.max_flow(s, t)
+
+    mask = net.level_mask()
+    if not need_flows:
+        return 0.0, None, mask
+
+    # Edge i's arc pair starts at 2*i (edges were appended first).
+    flows = [lower[i] + cap[2 * i + 1] for i in range(num_edges)]
+    total = sum(flows[i] for i in range(num_edges) if edge_u[i] == s) - sum(
+        flows[i] for i in range(num_edges) if edge_v[i] == s
+    )
+    return max(total, extra), flows, mask
+
+
 def max_flow_with_lower_bounds(
-    num_nodes: int, edges: List[BoundedEdge], s: int, t: int
+    num_nodes: int,
+    edges: List[BoundedEdge],
+    s: int,
+    t: int,
+    arena: Optional[FlowArena] = None,
 ) -> MinCutResult:
     """Maximum feasible ``s -> t`` flow under per-edge lower bounds.
 
-    Raises :class:`InfeasibleFlowError` when no feasible flow exists (the
+    Object-level wrapper over :func:`solve_bounded_arrays`.  Raises
+    :class:`InfeasibleFlowError` when no feasible flow exists (the
     paper's Algorithm 3 returns nil in that case).
+    """
+    flow, flows, mask = solve_bounded_arrays(
+        num_nodes,
+        [e.u for e in edges],
+        [e.v for e in edges],
+        [e.lb for e in edges],
+        [e.ub for e in edges],
+        s,
+        t,
+        arena=arena,
+    )
+    source_side = {n for n in range(num_nodes) if mask[n]}
+    return MinCutResult(max_flow=flow, flows=flows, source_side=source_side)
+
+
+def max_flow_with_lower_bounds_reference(
+    num_nodes: int, edges: List[BoundedEdge], s: int, t: int
+) -> MinCutResult:
+    """The seed implementation, verbatim: object-per-call solve.
+
+    Builds a fresh :class:`~.maxflow.FlowNetwork` and runs the reference
+    :class:`~.maxflow.Dinic` -- no arenas, no buffer reuse.  This is the
+    solver the ``REPRO_SLOW_PATH=1`` oracle runs, so the oracle remains
+    the untouched seed algorithm end to end; it doubles as the
+    cross-check that :func:`solve_bounded_arrays` is bit-identical
+    (``tests/test_compiled.py``).
     """
     if not (0 <= s < num_nodes and 0 <= t < num_nodes) or s == t:
         raise GraphError("bad source/sink")
@@ -75,7 +242,7 @@ def max_flow_with_lower_bounds(
 
     # Reduced-capacity arcs for the original edges.
     arc_of_edge: List[int] = []
-    excess: Dict[int, float] = {}
+    excess: dict = {}
     for e in edges:
         arc_of_edge.append(net.add_edge(e.u, e.v, e.ub - e.lb))
         excess[e.v] = excess.get(e.v, 0.0) + e.lb
@@ -97,10 +264,6 @@ def max_flow_with_lower_bounds(
     solver = Dinic(net)
     feasibility_flow = solver.max_flow(s2, t2)
     if feasibility_flow < required - 1e-6 * max(1.0, required):
-        # Expose the violating side: nodes reachable from the dummy source
-        # in the residual form a set whose mandatory in-flow exceeds its
-        # out-capacity (Hoffman's condition).  Callers can turn this into
-        # an energy-improving repair move (see core.nextschedule).
         violating = net.reachable_from(s2)
         violating.discard(s2)
         violating.discard(t2)
@@ -116,7 +279,7 @@ def max_flow_with_lower_bounds(
 
     flows = []
     for e, arc in zip(edges, arc_of_edge):
-        flows.append(e.lb + net.arc_flow(arc, e.ub - e.lb))
+        flows.append(e.lb + net.arc_flow(arc))
 
     source_side = net.reachable_from(s)
     source_side.discard(s2)

@@ -1,12 +1,19 @@
 """Maximum-flow / minimum-cut solvers.
 
-Two implementations over the same arc-list network representation:
+Three implementations over the same residual-arc representation:
 
-* :class:`Dinic` -- the default solver (level graph + blocking flow),
-  fast enough to run once per frontier step on pipeline DAGs with tens of
-  thousands of arcs.
-* :func:`edmonds_karp` -- the solver named in the paper (§4.3); kept as a
-  slow reference for cross-checking in tests.
+* :class:`FlowArena` -- the production solver: a reusable scratch
+  network whose ``to``/``cap``/``head`` buffers and Dinic level/iterator
+  arrays persist across solves, so the optimizer's thousands of min-cut
+  calls per frontier crawl stop paying network construction from
+  scratch.  Dinic's level graph lives in a reused buffer and dead ends
+  are gap-pruned (``level[u] = -1``) instead of re-discovered.
+* :class:`Dinic` over :class:`FlowNetwork` -- the original
+  object-per-network solver, kept as the arena's reference
+  implementation (same algorithm, same visit order, so both produce
+  bit-identical flows) and for direct construction in tests.
+* :func:`edmonds_karp` -- the solver named in the paper (§4.3); a slow
+  cross-checking reference.
 
 Capacities are floats (joules); residual comparisons use an absolute
 epsilon to keep augmentation terminating under float arithmetic.
@@ -21,6 +28,195 @@ from ..exceptions import GraphError
 
 INF = float("inf")
 FLOW_EPS = 1e-9
+
+
+class FlowArena:
+    """Reusable max-flow scratch: network buffers + Dinic state.
+
+    One arena serves an arbitrary sequence of solves: :meth:`reset`
+    re-initializes it as an empty network of ``num_nodes`` nodes while
+    keeping every underlying buffer (arc lists, per-node adjacency
+    lists, Dinic's level/iterator arrays) allocated.  The arc layout,
+    traversal order and epsilon handling are exactly those of
+    :class:`Dinic` over :class:`FlowNetwork`, so a solve through an
+    arena is bit-identical to a solve through a fresh network.
+
+    Not thread-safe: use one arena per worker.
+    """
+
+    def __init__(self) -> None:
+        self.num_nodes = 0
+        self.to: List[int] = []
+        self.cap: List[float] = []
+        self.head: List[List[int]] = []
+        self._head_pool: List[List[int]] = []
+        self._level: List[int] = []
+        self._iter: List[int] = []
+        # Slice-assignment templates for O(n) C-speed resets.
+        self._neg: List[int] = []
+        self._zero: List[int] = []
+
+    def reset(self, num_nodes: int) -> "FlowArena":
+        """Become an empty network of ``num_nodes`` nodes (buffers kept)."""
+        if num_nodes <= 0:
+            raise GraphError("network needs at least one node")
+        pool = self._head_pool
+        while len(pool) < num_nodes:
+            pool.append([])
+        for i in range(num_nodes):
+            del pool[i][:]
+        # head aliases the pool's first lists; rebind only on resize (the
+        # pool only ever grows, so the prefix view stays valid).
+        if len(self.head) != num_nodes:
+            self.head = pool[:num_nodes]
+        del self.to[:]
+        del self.cap[:]
+        if len(self._level) < num_nodes:
+            grow = num_nodes - len(self._level)
+            self._level.extend([-1] * grow)
+            self._iter.extend([0] * grow)
+            self._neg.extend([-1] * grow)
+            self._zero.extend([0] * grow)
+        self.num_nodes = num_nodes
+        return self
+
+    # -- network construction (same arc-pair layout as FlowNetwork) ----------
+    def add_edge(self, u: int, v: int, capacity: float) -> int:
+        """Add a directed arc ``u -> v``; returns its arc index."""
+        to, cap = self.to, self.cap
+        idx = len(to)
+        to.append(v)
+        cap.append(capacity)
+        self.head[u].append(idx)
+        to.append(u)
+        cap.append(0.0)
+        self.head[v].append(idx + 1)
+        return idx
+
+    def arc_flow(self, idx: int) -> float:
+        """Flow currently pushed through arc ``idx`` (reverse-arc cap)."""
+        return self.cap[idx ^ 1]
+
+    def residual(self, idx: int) -> float:
+        return self.cap[idx]
+
+    def zero_arc(self, idx: int) -> None:
+        """Remove an arc pair from the network (capacity to zero)."""
+        self.cap[idx] = 0.0
+        self.cap[idx ^ 1] = 0.0
+
+    def reachable_mask(self, s: int) -> bytearray:
+        """Residual-reachable nodes from ``s`` as a membership mask."""
+        to, cap, head = self.to, self.cap, self.head
+        mask = bytearray(self.num_nodes)
+        mask[s] = 1
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for idx in head[u]:
+                v = to[idx]
+                if not mask[v] and cap[idx] > FLOW_EPS:
+                    mask[v] = 1
+                    queue.append(v)
+        return mask
+
+    # -- Dinic ---------------------------------------------------------------
+    def max_flow(self, s: int, t: int) -> float:
+        """Dinic's algorithm; identical arc choices to :class:`Dinic`.
+
+        One fused loop per level phase: the augmenting path persists
+        across pushes and only retreats to the first saturated arc.
+        This visits exactly the arcs the reference implementation's
+        restart-from-source DFS would (unsaturated prefix arcs keep
+        their level and ``it`` pointer, so a restart retraces them), it
+        just skips the retrace -- a real saving on deep pipeline DAGs.
+        """
+        if s == t:
+            raise GraphError("source equals sink")
+        n = self.num_nodes
+        to, cap, head = self.to, self.cap, self.head
+        level, it = self._level, self._iter
+        eps = FLOW_EPS
+        total = 0.0
+        while True:
+            # BFS level graph (reused buffer, slice-assignment reset; a
+            # plain list with a read cursor beats a deque at this size).
+            level[:n] = self._neg[:n]
+            level[s] = 0
+            queue = [s]
+            push = queue.append
+            cursor = 0
+            while cursor < len(queue):
+                u = queue[cursor]
+                cursor += 1
+                nxt = level[u] + 1
+                for idx in head[u]:
+                    v = to[idx]
+                    if level[v] < 0 and cap[idx] > eps:
+                        level[v] = nxt
+                        push(v)
+            if level[t] < 0:
+                return total
+            it[:n] = self._zero[:n]
+            # Blocking flow: iterative DFS, dead ends gap-pruned via
+            # level[u] = -1, path kept alive across augmentations.
+            path: List[int] = []
+            u = s
+            while True:
+                if u == t:
+                    pushed = INF
+                    for idx in path:
+                        c = cap[idx]
+                        if c < pushed:
+                            pushed = c
+                    for idx in path:
+                        cap[idx] -= pushed
+                        cap[idx ^ 1] += pushed
+                    total += pushed
+                    k = 0
+                    while cap[path[k]] > eps:
+                        k += 1
+                    u = to[path[k] ^ 1]  # tail of the first saturated arc
+                    del path[k:]
+                    continue
+                arcs = head[u]
+                i = it[u]
+                na = len(arcs)
+                lvl = level[u] + 1
+                advanced = False
+                while i < na:
+                    idx = arcs[i]
+                    v = to[idx]
+                    if cap[idx] > eps and level[v] == lvl:
+                        it[u] = i
+                        path.append(idx)
+                        u = v
+                        advanced = True
+                        break
+                    i += 1
+                if advanced:
+                    continue
+                it[u] = i
+                if u == s:
+                    break  # phase exhausted; rebuild levels
+                level[u] = -1  # dead end: prune
+                u_arc = path.pop()
+                u = to[u_arc ^ 1]
+                it[u] += 1
+
+    def level_mask(self) -> bytearray:
+        """Residual-reachable mask from the last :meth:`max_flow` source.
+
+        Valid immediately after :meth:`max_flow` returns: its final BFS
+        (the one that failed to reach the sink) labeled exactly the
+        residual-reachable nodes and ran no blocking flow afterwards, so
+        no level was pruned.  Equivalent to -- and cheaper than --
+        :meth:`reachable_mask` on that source.
+        """
+        level = self._level
+        return bytearray(
+            1 if level[i] >= 0 else 0 for i in range(self.num_nodes)
+        )
 
 
 class FlowNetwork:
@@ -49,13 +245,13 @@ class FlowNetwork:
         self.head[v].append(idx + 1)
         return idx
 
-    def arc_flow(self, idx: int, original_capacity: float = 0.0) -> float:
+    def arc_flow(self, idx: int) -> float:
         """Flow currently pushed through arc ``idx``.
 
-        The reverse arc starts at zero capacity and accumulates exactly the
-        pushed flow, which stays finite even for infinite-capacity arcs.
+        The reverse arc starts at zero capacity and accumulates exactly
+        the pushed flow, which stays finite even for infinite-capacity
+        arcs.
         """
-        del original_capacity  # kept for API compatibility
         return self.cap[idx ^ 1]
 
     def residual(self, idx: int) -> float:
@@ -81,7 +277,7 @@ class FlowNetwork:
 
 
 class Dinic:
-    """Dinic's algorithm over a :class:`FlowNetwork`."""
+    """Dinic's algorithm over a :class:`FlowNetwork` (reference form)."""
 
     def __init__(self, network: FlowNetwork):
         self.net = network

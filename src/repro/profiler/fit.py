@@ -48,23 +48,18 @@ class ExponentialFit:
         return self(t) - self(t + tau)
 
 
-def _lstsq_for_b(
-    times: np.ndarray, energies: np.ndarray, b: float
-) -> Tuple[float, float, float]:
-    """Closed-form (a, c) and residual for a fixed exponent ``b``."""
-    basis = np.exp(b * times)
-    design = np.stack([basis, np.ones_like(basis)], axis=1)
-    coef, _, _, _ = np.linalg.lstsq(design, energies, rcond=None)
-    a, c = float(coef[0]), float(coef[1])
-    resid = float(np.sum((design @ coef - energies) ** 2))
-    return a, c, resid
-
-
 def fit_exponential(measurements: Sequence[Measurement]) -> ExponentialFit:
     """Fit ``a * exp(b * t) + c`` to Pareto-optimal measurements.
 
     Requires at least two points.  With exactly two, the fit becomes an
     exact interpolation with a mild default curvature.
+
+    The 1-D sweep over ``b`` evaluates every candidate at once: the
+    per-``b`` least squares is a 2-unknown system, so the whole grid
+    reduces to batched closed-form normal equations -- one ``exp``
+    matrix and a handful of reductions instead of 120 LAPACK ``lstsq``
+    dispatches.  (A cold frontier characterization fits every op; the
+    dispatch overhead alone used to be a visible slice of it.)
     """
     if len(measurements) < 2:
         raise FitError("need at least two Pareto points to fit")
@@ -77,18 +72,31 @@ def fit_exponential(measurements: Sequence[Measurement]) -> ExponentialFit:
 
     # Scale-aware sweep: b ~ -k / time_range for k in a wide log grid.
     span = t_hi - t_lo
-    best: Tuple[float, float, float, float] = None  # (resid, a, b, c)
-    for k in np.geomspace(0.05, 50.0, 120):
-        b = -k / span
-        a, c, resid = _lstsq_for_b(times, energies, b)
-        if a <= 0:
-            continue  # must be decreasing in t
-        if best is None or resid < best[0]:
-            best = (resid, a, b, c)
-    if best is None:
+    bs = -np.geomspace(0.05, 50.0, 120) / span
+    basis = np.exp(bs[:, None] * times[None, :])  # one row per candidate b
+    n = float(len(times))
+    s1 = basis.sum(axis=1)
+    s2 = (basis * basis).sum(axis=1)
+    sy = basis @ energies
+    y_sum = float(energies.sum())
+    det = s2 * n - s1 * s1
+    with np.errstate(divide="ignore", invalid="ignore"):
+        a_all = (sy * n - s1 * y_sum) / det
+        c_all = (s2 * y_sum - s1 * sy) / det
+        resid_all = (
+            (a_all[:, None] * basis + c_all[:, None] - energies[None, :]) ** 2
+        ).sum(axis=1)
+    # Must be decreasing in t (a > 0); degenerate/singular rows (det ~ 0,
+    # NaN residuals) are rejected the same way.
+    valid = (a_all > 0) & np.isfinite(resid_all)
+    if not bool(valid.any()):
         raise FitError("no decreasing exponential fits the measurements")
-    _, a, b, c = best
-    return ExponentialFit(a=a, b=b, c=c, t_min=t_lo, t_max=t_hi)
+    resid_all = np.where(valid, resid_all, np.inf)
+    best = int(np.argmin(resid_all))
+    return ExponentialFit(
+        a=float(a_all[best]), b=float(bs[best]), c=float(c_all[best]),
+        t_min=t_lo, t_max=t_hi,
+    )
 
 
 def fit_quality(fit: ExponentialFit, measurements: Sequence[Measurement]) -> float:

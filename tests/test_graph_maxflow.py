@@ -70,7 +70,7 @@ class TestMinCut:
         edges = [(0, 1, 4.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 3.0), (1, 2, 2.0)]
         net, arcs = build(4, edges)
         Dinic(net).max_flow(0, 3)
-        flows = {e: net.arc_flow(a, e[2]) for e, a in zip(edges, arcs)}
+        flows = {e: net.arc_flow(a) for e, a in zip(edges, arcs)}
         for node in (1, 2):
             inflow = sum(f for (u, v, _), f in flows.items() if v == node)
             outflow = sum(f for (u, v, _), f in flows.items() if u == node)

@@ -380,3 +380,140 @@ class TestTwoProcessDemo:
         a = json.loads((tmp_path / "a.json").read_text("utf-8"))
         b = json.loads((tmp_path / "b.json").read_text("utf-8"))
         assert a == b  # bit-identical rows across processes
+
+
+class TestProcessSweep:
+    """jobs>1 + PlanStore = multi-process sweep (workers publish via the
+    store, the parent adopts)."""
+
+    SPECS = [SMALL.replace(strategy=s)
+             for s in ("perseus", "max-freq", "broken")]
+
+    def test_process_rows_match_serial(self, tmp_path):
+        serial = Planner().sweep(self.SPECS)
+        store_planner = Planner(cache=tmp_path / "store")
+        assert isinstance(store_planner.cache, PlanStore)
+        rows = store_planner.sweep(self.SPECS, jobs=2)
+        assert [r.ok for r in rows] == [r.ok for r in serial]
+        assert [r.error for r in rows] == [r.error for r in serial]
+        for ours, ref in zip(rows, serial):
+            if ours.ok:
+                assert ours.iteration_time_s == ref.iteration_time_s
+                assert ours.energy_j == ref.energy_j
+                assert ours.plan == ref.plan
+
+    def test_worker_work_is_accounted_and_persisted(self, tmp_path):
+        planner = Planner(cache=tmp_path / "store")
+        planner.sweep(self.SPECS, jobs=2)
+        # The expensive work happened (in the workers) exactly once ...
+        assert planner.stats["profile"] == 1
+        assert planner.stats["frontier"] == 1
+        # ... and landed on disk, so a fresh planner warm-starts.
+        warm = Planner(cache=tmp_path / "store")
+        warm.sweep(self.SPECS, jobs=2)
+        assert expensive_work(warm) == {"profile": 0, "stage_profile": 0,
+                                        "tau": 0, "frontier": 0}
+
+
+class TestEviction:
+    def _fill(self, root):
+        """A store with real artifacts on disk."""
+        planner = Planner(cache=root)
+        planner.frontier_for(SMALL)
+        store = planner.cache
+        assert store.disk_bytes() > 0
+        return store
+
+    def test_gc_prunes_lru_by_mtime_down_to_cap(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        entries = store._disk_entries()
+        assert len(entries) >= 3
+        # Age two entries far into the past; they must be pruned first.
+        paths = sorted(path for _, _, path in entries)
+        old = paths[:2]
+        for i, path in enumerate(old):
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        total = store.disk_bytes()
+        old_bytes = sum(os.path.getsize(p) for p in old)
+        result = store.gc(total - old_bytes)
+        assert result["removed"] == 2
+        assert result["freed_bytes"] == old_bytes
+        assert not any(os.path.exists(p) for p in old)
+
+    def test_gc_zero_clears_everything(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        result = store.gc(0)
+        assert result["kept_bytes"] == 0
+        assert store.disk_bytes() == 0
+        # the layout stamp survives: the directory is still a valid store
+        assert os.path.exists(os.path.join(store.root, "store-format.json"))
+
+    def test_max_bytes_cap_prunes_on_write(self, tmp_path):
+        store = self._fill(tmp_path / "uncapped")
+        footprint = store.disk_bytes()
+        capped = Planner(cache=PlanStore(tmp_path / "capped",
+                                         max_bytes=footprint // 2))
+        capped.frontier_for(SMALL)
+        assert capped.cache.disk_bytes() <= footprint // 2
+
+    def test_gc_without_cap_is_an_error(self, tmp_path):
+        store = PlanStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.gc()
+        with pytest.raises(StoreError):
+            store.gc(-1)
+
+    def test_disk_hits_refresh_recency(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        entries = sorted(store._disk_entries())
+        _, _, oldest = entries[0]
+        os.utime(oldest, (1, 1))
+        fresh = PlanStore(store.root)  # cold memory tier, hits disk
+        planner = Planner(cache=fresh)
+        planner.frontier_for(SMALL)
+        newest_mtime = os.path.getmtime(oldest)
+        assert newest_mtime > 1  # the read refreshed the file's recency
+
+    def test_worker_view_carries_no_cap(self, tmp_path):
+        store = PlanStore(tmp_path / "store", max_bytes=123)
+        assert store.worker_view().max_bytes is None
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        from repro.core.store import parse_size
+
+        assert parse_size("1024") == 1024
+        assert parse_size("2K") == 2048
+        assert parse_size("1.5M") == int(1.5 * 1024 ** 2)
+        assert parse_size("1G") == 1024 ** 3
+        assert parse_size("200MB") == 200 * 1024 ** 2
+        assert parse_size(42) == 42
+
+    def test_rejects_garbage(self):
+        from repro.core.store import parse_size
+
+        with pytest.raises(StoreError):
+            parse_size("lots")
+        with pytest.raises(StoreError):
+            parse_size("-1M")
+
+
+class TestCacheGcCli:
+    def test_gc_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        planner = Planner(cache=tmp_path / "store")
+        planner.frontier_for(SMALL)
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path / "store"),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out
+        assert planner.cache.disk_bytes() == 0
+
+    def test_gc_needs_a_store(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "gc", "--max-bytes", "1M"]) == 2
+        assert "cache gc needs a store" in capsys.readouterr().err
