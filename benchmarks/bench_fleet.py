@@ -1,0 +1,201 @@
+"""Fleet power capping: three datacenter scenarios, three policies.
+
+Runs the discrete-event fleet simulator over three scenarios --
+
+* ``steady-state``  -- a mixed A100/A40 model fleet arriving together
+  under a constant cluster cap (the headline comparison);
+* ``diurnal-cap``   -- the same fleet under a day-curve cap that
+  tightens mid-run, forcing repeated reallocation;
+* ``straggler``     -- a steady fleet where the largest job is hit by a
+  mid-run straggler notification and the fleet re-plans around it --
+
+and compares the ``uniform`` per-GPU capping baseline, ``greedy``
+highest-power-first slowdown, and the frontier-aware ``waterfill``
+policy on each (with ``uncapped`` as the all-max reference).  Results
+land in ``benchmarks/BENCH_fleet.json``.
+
+The steady-state scenario doubles as the acceptance guard: waterfill
+must meet the cap with zero violation seconds, strictly less fleet
+energy than uniform, and no worse aggregate slowdown.  ``--quick``
+shrinks iteration counts for CI and enforces a wall-clock ceiling via
+``--ceiling-s``.
+
+Run directly::
+
+    python benchmarks/bench_fleet.py              # full scenarios
+    python benchmarks/bench_fleet.py --quick --ceiling-s 120   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if __name__ == "__main__":  # runnable without installing the package
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_fleet.json")
+QUICK_RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_fleet.quick.json")
+
+#: The compared policies (uncapped is the all-max reference row).
+POLICIES = ("uncapped", "uniform", "greedy", "waterfill")
+
+#: Shared fleet mix: three models across A100 and A40 pipelines, six
+#: jobs arriving within seconds of each other (sustained overlap, so
+#: the cap binds while every job runs).
+MIX = dict(models=["gpt3-xl", "bert-large", "t5-large"], count=6, seed=0,
+           gpus=("a100", "a40"), interval_s=5.0, stages=4, microbatches=8,
+           freq_stride=8)
+
+#: Constant cap between the fleet's all-slowest (~3.6 kW) and
+#: all-fastest (~4.8 kW) draw: binding, but satisfiable.
+STEADY_CAP_W = 4000.0
+
+
+def _scenarios(quick: bool):
+    """The three benchmark scenarios (name, trace, cap)."""
+    from repro.fleet import StepTrace, StragglerEvent, synthetic_trace
+
+    # Quick mode trims the tail, not the head: jobs must still overlap
+    # long enough for the cap to bind, or the policies have nothing to
+    # do and the acceptance comparison degenerates.
+    iters = (150, 300) if quick else (200, 400)
+    base = synthetic_trace(iterations=iters, **MIX)
+
+    diurnal = StepTrace.diurnal(base=4300.0, amplitude=700.0,
+                                period_s=240.0 if quick else 1200.0,
+                                steps=8)
+
+    # The straggler hits the fleet's biggest job early: degree 1.3 on
+    # the first gpt3-xl pipeline, arriving while everything still runs.
+    straggled = type(base)(
+        jobs=base.jobs,
+        events=(StragglerEvent(time_s=30.0, job_id="job-000", degree=1.3),),
+    )
+
+    return [
+        ("steady-state", base, STEADY_CAP_W),
+        ("diurnal-cap", base, diurnal),
+        ("straggler", straggled, STEADY_CAP_W),
+    ]
+
+
+def _cap_label(cap) -> str:
+    if isinstance(cap, float):
+        return f"{cap:.0f} W constant"
+    return (f"diurnal {min(cap.values):.0f}-{max(cap.values):.0f} W "
+            f"x{len(cap.times)} steps")
+
+
+def run(quick: bool = False) -> dict:
+    """Run every scenario x policy; returns (and writes) the document."""
+    from repro.api import Planner
+    from repro.fleet import FleetSimulator
+
+    planner = Planner()  # one planner: frontiers characterize once
+    scenarios = []
+    for name, trace, cap in _scenarios(quick):
+        rows = []
+        for policy in POLICIES:
+            started = time.perf_counter()
+            report = FleetSimulator(
+                trace, policy=policy, cap_w=cap, planner=planner
+            ).run()
+            elapsed = time.perf_counter() - started
+            rows.append({
+                "policy": policy,
+                "fleet_energy_j": round(report.fleet_energy_j, 1),
+                "allmax_energy_j": round(report.allmax_energy_j, 1),
+                "energy_vs_allmax_pct":
+                    round(report.energy_vs_allmax_pct, 3),
+                "aggregate_slowdown_pct":
+                    round(report.aggregate_slowdown_pct, 3),
+                "cap_violation_s": round(report.cap_violation_s, 3),
+                "makespan_s": round(report.makespan_s, 2),
+                "deadline_misses": report.deadline_misses,
+                "sim_wall_s": round(elapsed, 3),
+            })
+            print(f"{name:<14} {policy:<10} "
+                  f"energy={rows[-1]['fleet_energy_j']:>11.1f} J  "
+                  f"slowdown={rows[-1]['aggregate_slowdown_pct']:>+7.3f}%  "
+                  f"violation={rows[-1]['cap_violation_s']:>8.2f} s",
+                  flush=True)
+        scenarios.append({
+            "scenario": name,
+            "jobs": len(trace.jobs),
+            "cap": _cap_label(cap),
+            "policies": rows,
+        })
+
+    doc = {
+        "benchmark": "fleet-power-cap",
+        "mode": "quick" if quick else "full",
+        "mix": {k: list(v) if isinstance(v, (list, tuple)) else v
+                for k, v in MIX.items()},
+        "steady_cap_w": STEADY_CAP_W,
+        "scenarios": scenarios,
+    }
+    _check_acceptance(doc)
+    path = QUICK_RESULT_PATH if quick else RESULT_PATH
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+def _check_acceptance(doc: dict) -> None:
+    """The steady-state guard: waterfill beats uniform under the cap."""
+    steady = next(s for s in doc["scenarios"]
+                  if s["scenario"] == "steady-state")
+    by_policy = {row["policy"]: row for row in steady["policies"]}
+    water, uniform = by_policy["waterfill"], by_policy["uniform"]
+    if water["cap_violation_s"] != 0.0:
+        raise AssertionError(
+            f"waterfill violated the steady-state cap for "
+            f"{water['cap_violation_s']} s"
+        )
+    if not water["fleet_energy_j"] < uniform["fleet_energy_j"]:
+        raise AssertionError(
+            f"waterfill energy {water['fleet_energy_j']} J is not below "
+            f"uniform {uniform['fleet_energy_j']} J"
+        )
+    if water["aggregate_slowdown_pct"] > uniform["aggregate_slowdown_pct"]:
+        raise AssertionError(
+            f"waterfill slowdown {water['aggregate_slowdown_pct']}% "
+            f"exceeds uniform {uniform['aggregate_slowdown_pct']}%"
+        )
+
+
+def test_fleet_quick():
+    """Pytest harness entry: quick scenarios with a lax ceiling."""
+    started = time.perf_counter()
+    run(quick=True)
+    assert time.perf_counter() - started < 300.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--ceiling-s", type=float, default=None,
+                        help="fail if the whole benchmark exceeds this")
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    run(quick=args.quick)
+    elapsed = time.perf_counter() - started
+    print(f"total {elapsed:.1f}s")
+    if args.ceiling_s is not None and elapsed > args.ceiling_s:
+        print(f"FAIL: exceeded {args.ceiling_s}s ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Fleet power capping: many training jobs under one power envelope.
+
+Builds a seeded synthetic datacenter trace (a mix of models across A100
+and A40 pipelines), then runs it through the discrete-event fleet
+simulator under a cluster power cap with each built-in allocation
+policy.  The frontier-aware ``waterfill`` policy takes the cap out of
+the jobs whose frontiers give energy back most cheaply in time, so it
+lands under the cap with both less energy *and* less aggregate
+slowdown than uniformly capping every GPU.
+
+Run:  python examples/fleet_power_cap.py
+"""
+
+from repro.api import default_planner
+from repro.fleet import FleetSimulator, StepTrace, synthetic_trace
+
+#: A cap between the fleet's all-slowest and all-fastest draw, so the
+#: policies have real work to do while zero violations stay achievable.
+CAP_WATTS = 4000.0
+
+
+def main() -> None:
+    trace = synthetic_trace(
+        ["gpt3-xl", "bert-large", "t5-large"],
+        count=6,
+        seed=0,
+        gpus=("a100", "a40"),
+        interval_s=5.0,
+        iterations=(200, 400),
+        freq_stride=8,
+    )
+    planner = default_planner()  # one planner: every policy reuses the
+    # same characterized frontiers, so only the first run plans anything.
+
+    print(f"{len(trace.jobs)} jobs under a {CAP_WATTS:.0f} W cluster cap\n")
+    print(f"{'policy':<10} {'energy (J)':>12} {'slowdown':>9} "
+          f"{'violation':>10} {'makespan':>9}")
+    for policy in ("uncapped", "uniform", "greedy", "waterfill"):
+        report = FleetSimulator(
+            trace, policy=policy, cap_w=CAP_WATTS, planner=planner
+        ).run()
+        print(f"{policy:<10} {report.fleet_energy_j:>12.0f} "
+              f"{report.aggregate_slowdown_pct:>8.2f}% "
+              f"{report.cap_violation_s:>9.1f}s "
+              f"{report.makespan_s:>8.1f}s")
+
+    # A time-varying cap works the same way: trace breakpoints become
+    # simulator events, and the policy reallocates at each one.
+    diurnal = StepTrace.diurnal(base=4400.0, amplitude=700.0,
+                                period_s=1200.0, steps=8)
+    report = FleetSimulator(trace, policy="waterfill",
+                            cap_w=diurnal, planner=planner).run()
+    print(f"\ndiurnal cap (3.8-5.1 kW): energy "
+          f"{report.fleet_energy_j:.0f} J, violation "
+          f"{report.cap_violation_s:.1f} s over {report.makespan_s:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

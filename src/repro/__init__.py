@@ -46,7 +46,8 @@ from __future__ import annotations
 import warnings
 from typing import Optional
 
-from . import api, baselines, core, emulation, experiments, gpu, models
+from . import api, baselines, core, emulation, experiments, fleet, gpu
+from . import models
 from . import partition as partitioning
 from . import pipeline, profiler, runtime, sim, stragglers, viz
 from .api import (
@@ -70,7 +71,7 @@ from .pipeline.schedules import schedule_1f1b
 from .profiler.measurement import PipelineProfile
 from .profiler.online import profile_pipeline
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def plan_pipeline(
@@ -131,6 +132,7 @@ __all__ = [
     "default_planner",
     "emulation",
     "experiments",
+    "fleet",
     "get_gpu",
     "gpu",
     "list_strategies",

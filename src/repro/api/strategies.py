@@ -23,6 +23,7 @@ Plain functions work too: ``@register_strategy("f")`` on
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
@@ -117,7 +118,7 @@ class _FunctionStrategy(Strategy):
 
 _REGISTRY: Dict[str, Strategy] = {}
 
-#: Modules whose import registers the six built-in strategies.  Imported
+#: Modules whose import registers the built-in strategies.  Imported
 #: lazily on first lookup so ``repro.api`` never circularly imports the
 #: baselines package at module-import time.
 _BUILTIN_MODULES = (
@@ -125,7 +126,105 @@ _BUILTIN_MODULES = (
     "repro.baselines.envpipe",
     "repro.baselines.zeus_global",
     "repro.baselines.zeus_perstage",
+    "repro.baselines.sampler",
 )
+
+#: Entry-point group third-party distributions use to publish planning
+#: strategies *and* fleet allocation policies::
+#:
+#:     [project.entry-points."repro.strategies"]
+#:     my-planner = my_pkg.planners:MyStrategy      # has plan(ctx)
+#:     my-capper  = my_pkg.policies:MyFleetPolicy   # has allocate(ctx)
+#:     my-bundle  = my_pkg.register_all             # module/callable that
+#:                                                  # self-registers
+PLUGIN_GROUP = "repro.strategies"
+
+_PLUGINS_LOADED = False
+
+
+def _entry_points(group: str):
+    """The installed entry points of one group, across Python versions.
+
+    3.10+ has ``entry_points().select(group=...)``; 3.9 returns a plain
+    ``{group: [eps]}`` mapping.  Any metadata failure yields an empty
+    list -- plugin discovery must never break the registry.
+    """
+    try:
+        from importlib.metadata import entry_points
+    except ImportError:  # pragma: no cover - py<3.8 never runs this
+        return []
+    try:
+        eps = entry_points()
+        if hasattr(eps, "select"):
+            return list(eps.select(group=group))
+        return list(eps.get(group, []))
+    except Exception as exc:  # pragma: no cover - corrupt metadata
+        warnings.warn(f"cannot scan {group!r} entry points: {exc}")
+        return []
+
+
+def _import_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+
+
+def load_plugins(reload: bool = False) -> List[str]:
+    """Discover third-party strategies and fleet policies (idempotent).
+
+    Built-in strategy modules import first, so a plugin shadowing a
+    built-in name wins regardless of which registry (strategies or
+    fleet policies) is touched first.  Every entry point in the
+    :data:`PLUGIN_GROUP` group is then loaded once, on first registry
+    lookup.  What the entry point resolves to decides how it registers,
+    under the entry point's *name*:
+
+    * an object with ``allocate`` -> fleet policy
+      (:func:`repro.fleet.register_policy`);
+    * an object with ``plan``, or a plain callable -> strategy
+      (:func:`register_strategy`);
+    * a module -> assumed to have self-registered at import (its
+      decorators ran); nothing further happens.
+
+    A plugin that fails to load or register is reported as a warning
+    and skipped; built-ins are never at risk.  Returns the names that
+    registered something (mostly for tests); ``reload=True`` rescans,
+    which is how a test installs a stub distribution mid-process.
+    """
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED and not reload:
+        return []
+    _PLUGINS_LOADED = True
+    _import_builtins()  # plugins must land *after* the built-ins
+    registered: List[str] = []
+    for ep in _entry_points(PLUGIN_GROUP):
+        try:
+            obj = ep.load()
+        except Exception as exc:
+            warnings.warn(
+                f"plugin {ep.name!r} ({ep.value}) failed to load: {exc}"
+            )
+            continue
+        try:
+            if inspect.ismodule(obj):
+                registered.append(ep.name)  # self-registered via import
+            elif callable(getattr(obj, "allocate", None)):
+                from ..fleet.policy import register_policy
+
+                register_policy(ep.name)(obj)
+                registered.append(ep.name)
+            elif hasattr(obj, "plan") or callable(obj):
+                register_strategy(ep.name)(obj)
+                registered.append(ep.name)
+            else:
+                warnings.warn(
+                    f"plugin {ep.name!r} is neither a strategy, a fleet "
+                    f"policy nor a module; skipped"
+                )
+        except Exception as exc:
+            warnings.warn(f"plugin {ep.name!r} failed to register: {exc}")
+    return registered
 
 
 def register_strategy(
@@ -135,8 +234,9 @@ def register_strategy(
 
     The decorated object is returned unchanged; what is stored is an
     *instance* (classes are instantiated with no arguments, functions
-    are wrapped).  Re-registering a name overwrites it, which is how
-    plugins can shadow a built-in.
+    are wrapped, and a ready-made instance with ``plan(ctx)`` -- e.g. a
+    pre-configured plugin object -- is stored as-is).  Re-registering a
+    name overwrites it, which is how plugins can shadow a built-in.
     """
     if not name or not isinstance(name, str):
         raise ConfigurationError("strategy name must be a non-empty string")
@@ -148,6 +248,8 @@ def register_strategy(
                 raise ConfigurationError(
                     f"strategy class {obj.__name__} must define plan(ctx)"
                 )
+        elif callable(getattr(obj, "plan", None)):
+            instance = obj
         elif callable(obj):
             instance = _FunctionStrategy(obj)
         else:
@@ -162,10 +264,8 @@ def register_strategy(
 
 
 def _ensure_builtins() -> None:
-    import importlib
-
-    for module in _BUILTIN_MODULES:
-        importlib.import_module(module)
+    _import_builtins()
+    load_plugins()
 
 
 def get_strategy(name: str) -> Strategy:

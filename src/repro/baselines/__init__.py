@@ -2,11 +2,13 @@
 
 Importing this package also registers every baseline with the strategy
 registry in :mod:`repro.api` (``envpipe``, ``zeus-global``,
-``zeus-per-stage``, ``max-freq``, ``min-energy``), so they are
-enumerable via :func:`repro.api.list_strategies` next to ``perseus``.
+``zeus-per-stage``, ``max-freq``, ``min-energy``, plus the seeded
+``random-sampler`` bounds baseline), so they are enumerable via
+:func:`repro.api.list_strategies` next to ``perseus``.
 """
 
 from .envpipe import envpipe_plan, run_envpipe
+from .sampler import RandomSamplerStrategy
 from .static import (
     max_frequency_plan,
     min_energy_plan,
@@ -25,6 +27,7 @@ from .zeus_perstage import per_stage_plan, zeus_per_stage_frontier
 
 __all__ = [
     "BaselineFrontierPoint",
+    "RandomSamplerStrategy",
     "envpipe_plan",
     "global_plan",
     "max_frequency_plan",

@@ -19,12 +19,17 @@ Commands:
 * ``straggler`` -- given a saved frontier, look up ``T_opt = min(T*, T')``
   schedules for one or more anticipated slowdowns (degrees outside the
   frontier range are reported as clamped).
+* ``fleet``     -- simulate a datacenter of training jobs under a
+  cluster power cap: jobs from a trace file (``--trace``) or seeded
+  synthetic arrivals, an allocation policy (``--policy waterfill``),
+  a constant ``--cap-watts`` or a piecewise ``--cap-trace``, report as
+  a table or ``--format json|csv``.
 * ``cache gc`` -- prune a persistent plan store to a size cap
   (least-recently-used entries first, recency = file mtime refreshed on
   every disk hit).  ``repro cache gc --max-bytes 200M``.
-* ``strategies`` / ``models`` / ``gpus`` -- list the strategy registry
-  (name plus one-line description), the model zoo and the device
-  registry.
+* ``strategies`` / ``policies`` / ``models`` / ``gpus`` -- list the
+  strategy registry (name plus one-line description), the fleet policy
+  registry, the model zoo and the device registry.
 
 All planning commands share one :class:`repro.api.Planner`, so e.g.
 ``compare`` profiles the pipeline exactly once for all six strategies.
@@ -336,6 +341,131 @@ def cmd_straggler(args) -> int:
     return 0
 
 
+def _fleet_trace(args):
+    """The fleet scenario: a trace file, or seeded synthetic arrivals."""
+    from .fleet import FleetTrace, synthetic_trace
+
+    if args.trace:
+        try:
+            with open(args.trace, encoding="utf-8") as fp:
+                return FleetTrace.from_json(fp)
+        except OSError as exc:
+            raise ReproError(f"cannot read trace {args.trace}: {exc}") from exc
+        except ValueError as exc:
+            raise ReproError(f"{args.trace} is not valid JSON: {exc}") from exc
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    gpus = [g.strip() for g in args.gpus.split(",") if g.strip()]
+    if not models:
+        raise ReproError("fleet needs --models (or --trace FILE)")
+    lo = args.iterations
+    # Without an explicit upper bound the default range top applies,
+    # clamped so `--iterations 500` alone still forms a valid range.
+    hi = args.max_iterations if args.max_iterations is not None \
+        else max(lo, 400)
+    return synthetic_trace(
+        models, args.count, seed=args.seed, gpus=gpus,
+        interval_s=args.interval_s, iterations=(lo, hi),
+        stages=args.stages, microbatches=args.microbatches,
+        freq_stride=args.freq_stride,
+    )
+
+
+def cmd_fleet(args) -> int:
+    from .fleet import FleetSimulator, StepTrace
+
+    trace = _fleet_trace(args)
+    cap = args.cap_watts
+    if args.cap_trace:
+        try:
+            with open(args.cap_trace, encoding="utf-8") as fp:
+                cap = StepTrace.from_json(fp)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot read cap trace {args.cap_trace}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ReproError(
+                f"{args.cap_trace} is not valid JSON: {exc}"
+            ) from exc
+    planner = Planner(cache=args.cache_dir) if args.cache_dir \
+        else default_planner()
+    report = FleetSimulator(
+        trace, policy=args.policy, cap_w=cap, carbon=args.carbon,
+        planner=planner, plan_jobs=args.jobs,
+    ).run()
+
+    human = sys.stderr if (args.format != "table" and not args.output) \
+        else sys.stdout
+    rows = [
+        [
+            r.job_id,
+            r.model,
+            r.gpus,
+            str(r.iterations),
+            f"{r.duration_s:.1f}",
+            f"{r.energy_j:.0f}",
+            f"{r.slowdown_pct:+.2f}",
+            ("-" if r.deadline_s is None
+             else ("MISS" if r.deadline_missed else "ok")),
+        ]
+        for r in report.jobs
+    ]
+    # --cap-trace overrides --cap-watts, so label in the same order.
+    cap_label = ("trace" if args.cap_trace
+                 else f"{args.cap_watts:.0f} W"
+                 if args.cap_watts is not None else "uncapped")
+    print(format_table(
+        ["job", "model", "gpus", "iters", "duration (s)", "energy (J)",
+         "slowdown (%)", "deadline"],
+        rows,
+        title=f"fleet: {len(report.jobs)} jobs, policy={report.policy}, "
+              f"cap={cap_label}",
+    ), file=human)
+    print(f"fleet      : energy={report.fleet_energy_j:.0f} J "
+          f"(all-max {report.allmax_energy_j:.0f} J, "
+          f"{report.energy_vs_allmax_pct:+.2f}% vs all-max)", file=human)
+    print(f"slowdown   : {report.aggregate_slowdown_pct:+.2f}% aggregate, "
+          f"makespan {report.makespan_s:.1f} s", file=human)
+    # The fleet-smoke CI guard greps this line: the water-filling policy
+    # must keep the steady-state scenario strictly under its cap.
+    print(f"cap        : violation {report.cap_violation_s:.2f} s, "
+          f"deadline misses {report.deadline_misses}", file=human)
+    if report.carbon_g:
+        print(f"carbon     : {report.carbon_g:.1f} gCO2", file=human)
+
+    if args.output or args.format != "table":
+        fmt = "csv" if args.format == "table" else args.format
+        if args.output:
+            with open(args.output, "w", encoding="utf-8", newline="") as fp:
+                _write_fleet_report(fp, report, fmt)
+            print(f"report ({fmt}) saved to {args.output}")
+        else:
+            _write_fleet_report(sys.stdout, report, fmt)
+    return 0
+
+
+def _write_fleet_report(fp, report, fmt: str) -> None:
+    if fmt == "json":
+        json.dump(report.to_dict(), fp, indent=2)
+        fp.write("\n")
+    else:
+        from .experiments.export import write_series
+
+        dicts = [r.to_dict() for r in report.jobs]
+        headers = list(dicts[0].keys()) if dicts else []
+        write_series(fp, headers, ([d[h] for h in headers] for d in dicts))
+
+
+def cmd_policies(_args) -> int:
+    from .fleet import get_policy, list_policies, policy_description
+
+    names = list_policies()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {policy_description(get_policy(name))}")
+    return 0
+
+
 def cmd_cache_gc(args) -> int:
     from .api.planner import CACHE_DIR_ENV
     from .core.store import PlanStore, parse_size
@@ -443,6 +573,55 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[1.05, 1.1, 1.2, 1.3, 1.5])
     p.set_defaults(func=cmd_straggler)
 
+    p = sub.add_parser(
+        "fleet",
+        help="simulate a datacenter of training jobs under a power cap",
+    )
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="fleet_trace JSON (jobs + straggler events); "
+                        "omit for synthetic arrivals from the flags below")
+    p.add_argument("--models", default="gpt3-xl,bert-large,t5-large",
+                   help="comma-separated model zoo names the synthetic "
+                        "trace cycles through")
+    p.add_argument("--gpus", default="a100,a40",
+                   help="comma-separated GPU names the synthetic trace "
+                        "cycles through (one homogeneous pipeline each)")
+    p.add_argument("--count", type=int, default=6,
+                   help="number of synthetic jobs")
+    p.add_argument("--seed", type=int, default=0,
+                   help="synthetic arrival/iteration RNG seed")
+    p.add_argument("--interval-s", type=float, default=5.0,
+                   help="mean synthetic arrival gap in seconds")
+    p.add_argument("--iterations", type=int, default=200,
+                   help="lower bound of the synthetic iteration range")
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="upper bound of the synthetic iteration range "
+                        "(default 400, raised to --iterations if that "
+                        "is larger)")
+    p.add_argument("--stages", type=int, default=4)
+    p.add_argument("--microbatches", type=int, default=8)
+    p.add_argument("--freq-stride", type=int, default=8)
+    p.add_argument("--policy", default="waterfill",
+                   help="registered fleet policy (see 'policies')")
+    p.add_argument("--cap-watts", type=float, default=None,
+                   help="constant cluster power cap in watts")
+    p.add_argument("--cap-trace", default=None, metavar="FILE",
+                   help="step_trace JSON of a time-varying cap "
+                        "(overrides --cap-watts)")
+    p.add_argument("--carbon", type=float, default=None,
+                   help="grid carbon intensity in gCO2/kWh")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="planner worker-pool size for the up-front sweep")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent plan store for the fleet's frontiers")
+    p.add_argument("--format", choices=["table", "json", "csv"],
+                   default="table",
+                   help="report format (with --output, 'table' defaults "
+                        "to csv)")
+    p.add_argument("--output", "-o", default=None,
+                   help="write the fleet report to this file")
+    p.set_defaults(func=cmd_fleet)
+
     p = sub.add_parser("cache", help="plan-store maintenance")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
     g = cache_sub.add_parser(
@@ -458,6 +637,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("strategies", help="list registered strategies")
     p.set_defaults(func=cmd_strategies)
+    p = sub.add_parser("policies", help="list registered fleet policies")
+    p.set_defaults(func=cmd_policies)
     p = sub.add_parser("models", help="list model zoo variants")
     p.set_defaults(func=cmd_models)
     p = sub.add_parser("gpus", help="list GPU specs")

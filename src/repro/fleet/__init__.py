@@ -1,0 +1,86 @@
+"""``repro.fleet``: a discrete-event datacenter simulator with
+frontier-aware cluster power capping.
+
+The paper characterizes one job's iteration time-energy frontier; this
+package is where that artifact earns its keep at datacenter scale.  A
+:class:`FleetTrace` of training jobs (each a
+:class:`~repro.api.PlanSpec` + iteration count + optional deadline)
+arrives into a heap-based event loop; every unique spec is planned
+once through the shared :class:`~repro.api.Planner` (and persistent
+:class:`~repro.core.store.PlanStore`, when attached); and a pluggable
+allocation policy (``@register_policy``, mirroring the strategy
+registry) re-points each running job along its own frontier whenever
+anything changes, so the fleet's aggregate draw lives under a
+time-varying power cap.
+
+Quickstart::
+
+    from repro.fleet import FleetSimulator, synthetic_trace
+
+    trace = synthetic_trace(["gpt3-xl", "bert-large"], count=4, seed=0)
+    report = FleetSimulator(trace, policy="waterfill", cap_w=6000).run()
+    print(report.fleet_energy_j, report.cap_violation_s)
+
+See ``docs/fleet.md`` for the event loop, the policy registry, trace
+formats and a worked power-cap example.
+"""
+
+from .events import ARRIVAL, COMPLETION, STRAGGLER, TRACE, Event, EventQueue
+from .jobs import (
+    FLEET_TRACE_VERSION,
+    FleetJob,
+    FleetTrace,
+    JobPlan,
+    StragglerEvent,
+    plan_trace,
+    synthetic_trace,
+)
+from .policy import (
+    AllocationContext,
+    FleetPolicy,
+    JobView,
+    get_policy,
+    list_policies,
+    policy_description,
+    register_policy,
+)
+from .power import (
+    JobPowerModel,
+    OperatingPoint,
+    StepTrace,
+    aggregate_power_w,
+    as_trace,
+)
+from .simulator import FleetReport, FleetSimulator, JobRecord, simulate
+
+__all__ = [
+    "ARRIVAL",
+    "COMPLETION",
+    "STRAGGLER",
+    "TRACE",
+    "AllocationContext",
+    "Event",
+    "EventQueue",
+    "FLEET_TRACE_VERSION",
+    "FleetJob",
+    "FleetPolicy",
+    "FleetReport",
+    "FleetSimulator",
+    "FleetTrace",
+    "JobPlan",
+    "JobPowerModel",
+    "JobRecord",
+    "JobView",
+    "OperatingPoint",
+    "StepTrace",
+    "StragglerEvent",
+    "aggregate_power_w",
+    "as_trace",
+    "get_policy",
+    "list_policies",
+    "plan_trace",
+    "policy_description",
+    "register_policy",
+    "simulate",
+    "synthetic_trace",
+]

@@ -18,6 +18,14 @@ already held by the planner's cache backend (including a persistent
 :class:`~repro.core.store.PlanStore` warmed by another process) is
 adopted as-is instead of being re-crawled.
 
+The raw client-driven path is store-backed the same way: a profile
+submitted via ``submit_profile`` is content-hashed together with the
+job's DAG shape and tau, and the resulting frontier is persisted to --
+and adopted from -- the attached planner's backend under that key.  Two
+servers (or two *processes* sharing a ``REPRO_CACHE_DIR`` store) that
+receive the same profile for the same pipeline therefore characterize
+it exactly once.
+
 :meth:`PerseusServer.submit_sweep` is the batch path: it plans a whole
 spec batch (optionally on a worker pool, with per-spec error
 isolation), registers one deployable job per successful Perseus spec,
@@ -77,15 +85,31 @@ class _Job:
 
 
 class PerseusServer:
-    """Framework- and accelerator-agnostic planning service."""
+    """Framework- and accelerator-agnostic planning service.
 
-    def __init__(self, deploy_callback: Optional[DeployCallback] = None):
+    ``planner`` is the shared :class:`~repro.api.Planner` behind every
+    store-aware path (spec registration, sweeps, and the raw
+    ``submit_profile`` frontier cache); it defaults to the process-wide
+    :func:`~repro.api.planner.default_planner`, so ``REPRO_CACHE_DIR``
+    makes the whole server persistent at once.
+    """
+
+    def __init__(self, deploy_callback: Optional[DeployCallback] = None,
+                 planner: Optional["Planner"] = None):
         self._jobs: Dict[str, _Job] = {}
         self._deploy = deploy_callback
+        self._planner = planner
         #: Sweep rows by job id; ``None`` marks an id reserved by an
         #: in-flight ``submit_sweep`` batch (planning takes seconds).
         self._reports: Dict[str, Optional["PlanReport"]] = {}
         self._sweep_lock = threading.Lock()
+
+    def _shared_planner(self) -> "Planner":
+        if self._planner is None:
+            from ..api.planner import default_planner
+
+            self._planner = default_planner()
+        return self._planner
 
     # -- job lifecycle -------------------------------------------------------
     def register_job(
@@ -124,15 +148,13 @@ class PerseusServer:
         adopted instantly, and a freshly crawled one is shared with
         every later job naming the same (dag, profile, tau).
         """
-        from ..api.planner import default_planner
-
         if spec.strategy != "perseus":
             raise ServerError(
                 f"the server deploys Perseus frontier schedules; got "
                 f"strategy {spec.strategy!r} -- use "
                 f"spec.replace(strategy='perseus')"
             )
-        planner = planner or default_planner()
+        planner = planner or self._shared_planner()
         stack = planner.result(spec)
         self.register_job(job_id, stack.dag, tau=stack.optimizer.tau)
         job = self._job(job_id)
@@ -194,9 +216,7 @@ class PerseusServer:
         Returns ``job_id -> PlanReport`` in input order; rows are also
         retained for :meth:`report_of` / :meth:`sweep_reports`.
         """
-        from ..api.planner import default_planner
-
-        planner = planner or default_planner()
+        planner = planner or self._shared_planner()
         spec_list = list(specs)
         job_ids = [f"{prefix}-{i}" for i in range(len(spec_list))]
         # Reserve every id atomically up front: the batch plan below can
@@ -269,6 +289,15 @@ class PerseusServer:
 
         ``blocking=True`` characterizes synchronously (tests, experiments);
         otherwise a daemon thread does the work while training continues.
+
+        Characterization is store-backed like :meth:`register_spec`: the
+        submitted profile is content-hashed with the job's DAG shape and
+        tau, a frontier the shared planner's backend already holds under
+        that key (this process, or a persistent
+        :class:`~repro.core.store.PlanStore` warmed by another one) is
+        adopted without a crawl, and a fresh crawl is recorded back
+        through the planner so later submissions -- and later
+        *processes* -- reuse it.
         """
         job = self._job(job_id)
         with job.lock:
@@ -284,9 +313,54 @@ class PerseusServer:
             )
             thread.start()
 
+    def _raw_frontier_key(self, job: _Job) -> tuple:
+        """The content address of a raw-parts job's frontier.
+
+        Profiles are hashed through their versioned serialization
+        payload (the same canonical form the plan store writes), so the
+        key is stable across processes; the DAG contributes its full
+        *structure* -- per-node op keys plus every dependency edge --
+        because two schedules with identical shape but different
+        orderings characterize different frontiers.  The leading
+        ``"raw_profile"`` tag keeps these keys disjoint from the
+        planner's own (dag, profile, tau) optimizer keys -- the
+        planner's constituents (model specs, GPU values) are not
+        recoverable from raw parts, so aliasing is not attempted.
+        """
+        from ..core.serialization import payload_to_dict
+        from ..core.store import stable_key
+
+        dag = job.dag
+        structure = (
+            tuple((n, dag.nodes[n].op_key) for n in sorted(dag.nodes)),
+            tuple(sorted(
+                (u, v) for u, succs in dag.succ.items() for v in succs
+            )),
+        )
+        return (
+            "raw_profile",
+            stable_key(payload_to_dict(job.profile)),
+            stable_key(structure),
+            dag.num_stages,
+            dag.num_microbatches,
+            job.tau,
+        )
+
     def _characterize(self, job: _Job) -> None:
         try:
-            frontier = characterize_frontier(job.dag, job.profile, tau=job.tau)
+            from ..core.store import MISS
+
+            planner = self._shared_planner()
+            key = self._raw_frontier_key(job)
+            frontier = planner.cache.get("frontier", key)
+            if frontier is MISS:
+                frontier = characterize_frontier(
+                    job.dag, job.profile, tau=job.tau
+                )
+                # The planner's recorder persists the frontier to the
+                # backend (and bumps stats["frontier"], so the "work"
+                # accounting covers raw-path crawls too).
+                planner._record_frontier(key, frontier)
         except BaseException as exc:  # surfaced on next query
             with job.lock:
                 job.error = exc

@@ -1,0 +1,148 @@
+"""Third-party plugin discovery via ``repro.strategies`` entry points.
+
+Installs a *stub distribution* onto ``sys.path`` -- a real
+``.dist-info`` directory with an ``entry_points.txt``, exactly what pip
+would lay down -- and checks that rescanning the registry picks up a
+planning strategy, a fleet policy and a self-registering module from
+it, and that a broken entry point degrades to a warning instead of
+taking the registry down.
+"""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.api.strategies import (
+    _REGISTRY as _STRATEGY_REGISTRY,
+    get_strategy,
+    list_strategies,
+    load_plugins,
+)
+from repro.fleet.policy import _REGISTRY as _POLICY_REGISTRY
+from repro.fleet import list_policies
+
+STUB_MODULE = """
+from repro.api import register_strategy
+from repro.fleet import register_policy
+
+
+class StubStrategy:
+    \"\"\"Stub strategy from the test distribution.\"\"\"
+
+    def plan(self, ctx):
+        return {n: 0 for n in ctx.dag.nodes}
+
+
+class StubPolicy:
+    \"\"\"Stub fleet policy from the test distribution.\"\"\"
+
+    def allocate(self, ctx):
+        return {j.job_id: 0 for j in ctx.jobs}
+
+
+@register_strategy("stub-self-registered")
+def _self_registered(ctx):
+    \"\"\"Registered by importing the plugin module itself.\"\"\"
+    return {n: 0 for n in ctx.dag.nodes}
+"""
+
+ENTRY_POINTS = """
+[repro.strategies]
+stub-strategy = repro_stub_plugin:StubStrategy
+stub-policy = repro_stub_plugin:StubPolicy
+stub-module = repro_stub_plugin
+stub-broken = repro_stub_plugin:DoesNotExist
+"""
+
+METADATA = """
+Metadata-Version: 2.1
+Name: repro-stub-plugin
+Version: 0.1
+"""
+
+
+@pytest.fixture()
+def stub_distribution(tmp_path):
+    """A fake installed distribution exposing the entry points above."""
+    (tmp_path / "repro_stub_plugin.py").write_text(
+        textwrap.dedent(STUB_MODULE)
+    )
+    dist_info = tmp_path / "repro_stub_plugin-0.1.dist-info"
+    dist_info.mkdir()
+    (dist_info / "METADATA").write_text(textwrap.dedent(METADATA).strip())
+    (dist_info / "entry_points.txt").write_text(
+        textwrap.dedent(ENTRY_POINTS).strip() + "\n"
+    )
+    sys.path.insert(0, str(tmp_path))
+    import importlib
+
+    importlib.invalidate_caches()
+    try:
+        yield tmp_path
+    finally:
+        sys.path.remove(str(tmp_path))
+        sys.modules.pop("repro_stub_plugin", None)
+        for name in ("stub-strategy", "stub-self-registered"):
+            _STRATEGY_REGISTRY.pop(name, None)
+        _POLICY_REGISTRY.pop("stub-policy", None)
+        importlib.invalidate_caches()
+        load_plugins(reload=True)  # rescan without the stub on the path
+
+
+def test_stub_distribution_registers_everything(stub_distribution):
+    with pytest.warns(UserWarning, match="stub-broken"):
+        registered = load_plugins(reload=True)
+    assert {"stub-strategy", "stub-policy", "stub-module"} <= \
+        set(registered)
+    assert "stub-broken" not in registered
+
+    # The strategy is enumerable and planning-capable.
+    assert "stub-strategy" in list_strategies()
+    strategy = get_strategy("stub-strategy")
+    assert strategy.name == "stub-strategy"
+    from repro.api import strategy_description
+
+    assert "Stub strategy" in strategy_description(strategy)
+
+    # The module entry point self-registered its function strategy.
+    assert "stub-self-registered" in list_strategies()
+
+    # The fleet policy landed in the policy registry.
+    assert "stub-policy" in list_policies()
+
+
+def test_plugin_loading_is_idempotent(stub_distribution):
+    with pytest.warns(UserWarning):
+        load_plugins(reload=True)
+    # A second scan without reload is a no-op (already loaded).
+    assert load_plugins() == []
+    # Reloading re-registers (overwrite semantics), not duplicates.
+    with pytest.warns(UserWarning):
+        names = load_plugins(reload=True)
+    assert names.count("stub-strategy") == 1
+
+
+def test_instance_objects_register_directly():
+    # Entry points may resolve to pre-configured *instances*; the
+    # registries store them as-is instead of rejecting them.
+    from repro.api import register_strategy
+
+    class InstStrategy:
+        """Pre-configured strategy instance."""
+
+        def plan(self, ctx):
+            return {}
+
+    register_strategy("inst-strategy-test")(InstStrategy())
+    try:
+        assert get_strategy("inst-strategy-test").plan(None) == {}
+    finally:
+        _STRATEGY_REGISTRY.pop("inst-strategy-test", None)
+
+
+def test_builtins_survive_without_plugins():
+    load_plugins(reload=True)
+    names = list_strategies()
+    assert {"perseus", "envpipe", "max-freq", "min-energy",
+            "random-sampler"} <= set(names)

@@ -106,6 +106,109 @@ class TestServer:
             server.set_straggler("j", 0, -1.0, degree=1.2)
 
 
+class TestStoreBackedSubmitProfile:
+    """The raw client-driven path persists/adopts frontiers like
+    ``register_spec``: content-addressed on (profile, DAG shape, tau)
+    through the attached planner's cache backend."""
+
+    def test_second_submission_adopts_cached_frontier(
+        self, small_dag, small_profile
+    ):
+        from repro.api import Planner
+
+        planner = Planner()
+        server = PerseusServer(planner=planner)
+        server.register_job("one", small_dag, tau=0.02)
+        server.submit_profile("one", small_profile, blocking=True)
+        assert planner.stats["frontier"] == 1
+        server.register_job("two", small_dag, tau=0.02)
+        server.submit_profile("two", small_profile, blocking=True)
+        # Same (profile, dag, tau) content: no second crawl, and the
+        # very same frontier object is served for both jobs.
+        assert planner.stats["frontier"] == 1
+        assert server.frontier_of("two") is server.frontier_of("one")
+
+    def test_different_tau_characterizes_again(
+        self, small_dag, small_profile
+    ):
+        from repro.api import Planner
+
+        planner = Planner()
+        server = PerseusServer(planner=planner)
+        server.register_job("a", small_dag, tau=0.02)
+        server.submit_profile("a", small_profile, blocking=True)
+        server.register_job("b", small_dag, tau=0.04)
+        server.submit_profile("b", small_profile, blocking=True)
+        assert planner.stats["frontier"] == 2
+
+    def test_frontier_persists_across_processes(
+        self, tmp_path, small_dag, small_profile
+    ):
+        from repro.api import Planner
+
+        store = str(tmp_path / "plan-store")
+        cold_planner = Planner(cache=store)
+        cold = PerseusServer(planner=cold_planner)
+        cold.register_job("j", small_dag, tau=0.02)
+        cold.submit_profile("j", small_profile, blocking=True)
+        assert cold_planner.stats["frontier"] == 1
+
+        # A fresh planner over the same store stands in for a second
+        # process: the frontier is adopted from disk, never re-crawled.
+        warm_planner = Planner(cache=store)
+        warm = PerseusServer(planner=warm_planner)
+        warm.register_job("j", small_dag, tau=0.02)
+        warm.submit_profile("j", small_profile, blocking=True)
+        assert warm_planner.stats["frontier"] == 0
+        assert warm_planner.cache.counters.get("disk_hits", 0) >= 1
+
+        a, b = cold.frontier_of("j"), warm.frontier_of("j")
+        assert [(p.iteration_time, p.effective_energy) for p in a.points] \
+            == [(p.iteration_time, p.effective_energy) for p in b.points]
+
+    def test_key_distinguishes_dag_structure(self, small_profile):
+        # Two DAGs with identical shape (stages, microbatches, node
+        # count, op keys) but different dependency edges must not share
+        # a frontier: the key hashes the full structure.
+        from repro.pipeline.dag import build_pipeline_dag
+        from repro.pipeline.schedules import schedule_1f1b
+        from repro.runtime.server import _Job
+
+        a = build_pipeline_dag(schedule_1f1b(4, 6))
+        b = build_pipeline_dag(schedule_1f1b(4, 6))
+        extra = sorted(b.nodes)  # add one more dependency edge to b
+        b.add_edge(extra[0], extra[-1])
+        server = PerseusServer()
+        job_a = _Job(job_id="a", dag=a, tau=0.02, profile=small_profile)
+        job_b = _Job(job_id="b", dag=b, tau=0.02, profile=small_profile)
+        key_a = server._raw_frontier_key(job_a)
+        key_b = server._raw_frontier_key(job_b)
+        assert key_a != key_b
+        # Same structure, same profile, same tau: keys alias.
+        job_c = _Job(job_id="c", dag=build_pipeline_dag(schedule_1f1b(4, 6)),
+                     tau=0.02, profile=small_profile)
+        assert server._raw_frontier_key(job_c) == key_a
+
+    def test_async_path_is_store_backed_too(
+        self, tmp_path, small_dag, small_profile
+    ):
+        from repro.api import Planner
+
+        store = str(tmp_path / "plan-store")
+        seed_planner = Planner(cache=store)
+        seed = PerseusServer(planner=seed_planner)
+        seed.register_job("j", small_dag, tau=0.02)
+        seed.submit_profile("j", small_profile, blocking=True)
+
+        adopt_planner = Planner(cache=store)
+        server = PerseusServer(planner=adopt_planner)
+        server.register_job("j", small_dag, tau=0.02)
+        server.submit_profile("j", small_profile, blocking=False)
+        frontier = server.wait_ready("j", timeout_s=120.0)
+        assert frontier.points
+        assert adopt_planner.stats["frontier"] == 0
+
+
 @pytest.fixture(scope="module")
 def engine():
     model = build_model("gpt3-xl", 4)
