@@ -1,0 +1,283 @@
+"""Planning-service benchmark: coalescing, quotas and latency.
+
+Boots an in-process :class:`~repro.service.PlanningDaemon` and drives
+it the way a shared deployment gets hit -- K concurrent tenants whose
+requests are drawn from U unique specs (K > U) -- measuring what the
+service layer is for:
+
+* ``coalesce-cold``  -- all K clients fire simultaneously against a
+  cold planner.  Acceptance: exactly U expensive profile runs (the
+  single-flight leaders), everyone else rides along (coalescing ratio
+  K/U), and every response is **bit-identical** to planning the same
+  spec with a fresh in-process planner.
+* ``coalesce-warm``  -- the same K requests again: zero new expensive
+  work, warm hit-rate 100%, and the per-request latency collapse
+  (cold vs warm p50/p95 from the daemon's own histogram).
+* ``quota``          -- one greedy tenant hammers a quota-limited
+  daemon and gets clean 429-style ``QuotaExceeded`` rejections while a
+  polite tenant on the same daemon is untouched.
+
+Results land in ``benchmarks/BENCH_service.json``.  ``--quick``
+shrinks K/U for CI and ``--ceiling-s`` enforces a wall-clock ceiling.
+
+Run directly::
+
+    python benchmarks/bench_service.py                      # full
+    python benchmarks/bench_service.py --quick --ceiling-s 120  # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if __name__ == "__main__":  # runnable without installing the package
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_service.json")
+QUICK_RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_service.quick.json")
+
+
+def _unique_specs(quick: bool):
+    """U specs with pairwise-distinct expensive stacks (different
+    models/depths), small enough to profile in about a second each."""
+    from repro.api import PlanSpec
+
+    base = dict(gpu="a100", stages=2, microbatches=2, freq_stride=24)
+    specs = [
+        PlanSpec("gpt3-xl", **base),
+        PlanSpec("bert-large", **base),
+    ]
+    if not quick:
+        specs.append(PlanSpec("t5-large", **base))
+        specs.append(PlanSpec("gpt3-xl", gpu="a100", stages=4,
+                              microbatches=4, freq_stride=24))
+    return specs
+
+
+def _fire_clients(daemon, specs, clients: int):
+    """K clients, one thread each, all released by a barrier; returns
+    (per-request wall seconds, reports in client order, errors)."""
+    from repro.service import ServiceClient
+
+    barrier = threading.Barrier(clients)
+    latencies = [None] * clients
+    reports = [None] * clients
+    errors = []
+
+    def worker(i: int) -> None:
+        client = ServiceClient(daemon.url, tenant=f"tenant-{i % 4}")
+        spec = specs[i % len(specs)]
+        barrier.wait()
+        started = time.perf_counter()
+        try:
+            reports[i] = client.plan(spec)
+        except Exception as exc:  # collected, not raised mid-thread
+            errors.append(f"client {i}: {type(exc).__name__}: {exc}")
+        latencies[i] = time.perf_counter() - started
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300.0)
+    return latencies, reports, errors
+
+
+def _latency_summary(latencies) -> dict:
+    xs = sorted(latencies)
+    return {
+        "p50_s": round(xs[len(xs) // 2], 4),
+        "p95_s": round(xs[min(len(xs) - 1, int(0.95 * len(xs)))], 4),
+        "max_s": round(xs[-1], 4),
+    }
+
+
+def _bench_coalescing(quick: bool) -> dict:
+    from repro.api import Planner
+    from repro.service import PlanningDaemon, reports_equal
+
+    specs = _unique_specs(quick)
+    clients = 8 if quick else 16
+    unique = len(specs)
+
+    planner = Planner()
+    with PlanningDaemon(planner=planner, port=0,
+                        max_inflight=clients) as daemon:
+        cold_lat, cold_reports, errors = _fire_clients(daemon, specs, clients)
+        assert not errors, errors
+        cold_stats = daemon._flight.stats.copy()
+        cold_work = dict(planner.stats)
+
+        warm_lat, warm_reports, errors = _fire_clients(daemon, specs, clients)
+        assert not errors, errors
+        warm_work = dict(planner.stats)
+        warm_counter = daemon.metrics.counter_value(
+            "repro_service_coalesce_total", {"outcome": "warm"})
+        hist = daemon.metrics.snapshot()["histograms"][
+            "repro_service_request_latency_seconds"]["method=plan"]
+        cache = dict(planner.cache.counters)
+
+    # Bit-identity: every daemon response equals a fresh in-process
+    # planner's answer for the same spec (fresh = no shared caches).
+    reference = Planner()
+    identical = all(
+        reports_equal(report, reference.plan(specs[i % unique]))
+        for i, report in enumerate(cold_reports)
+    ) and all(
+        reports_equal(warm_reports[i], cold_reports[i])
+        for i in range(clients)
+    )
+
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    return {
+        "clients": clients,
+        "unique_specs": unique,
+        "expensive_profile_runs": cold_work.get("profile", 0),
+        "expensive_frontier_runs": cold_work.get("frontier", 0),
+        "flights": cold_stats,
+        "coalescing_ratio": round(clients / cold_stats["leaders"], 3),
+        "warm_hits": warm_counter,
+        "warm_added_profile_runs":
+            warm_work.get("profile", 0) - cold_work.get("profile", 0),
+        "cache_hit_rate": (round(cache.get("hits", 0) / lookups, 4)
+                           if lookups else None),
+        "bit_identical": identical,
+        "cold_latency": _latency_summary(cold_lat),
+        "warm_latency": _latency_summary(warm_lat),
+        "daemon_histogram": {"count": hist["count"],
+                             "p50_s": hist["p50_s"],
+                             "p95_s": hist["p95_s"]},
+    }
+
+
+def _bench_quota(quick: bool) -> dict:
+    from repro.exceptions import QuotaExceeded
+    from repro.service import PlanningDaemon, ServiceClient
+
+    burst = 2.0
+    attempts = 6 if quick else 10
+    spec = _unique_specs(True)[0]
+    with PlanningDaemon(port=0, quota_rate=0.5, quota_burst=burst) as daemon:
+        greedy = ServiceClient(daemon.url, tenant="greedy")
+        polite = ServiceClient(daemon.url, tenant="polite")
+        admitted = rejected = 0
+        retry_hint = 0.0
+        for _ in range(attempts):
+            try:
+                greedy.plan(spec)
+                admitted += 1
+            except QuotaExceeded as exc:
+                rejected += 1
+                retry_hint = max(retry_hint, exc.retry_after_s)
+        # The polite tenant's fresh bucket is untouched by the greedy
+        # tenant exhausting its own.
+        polite.plan(spec)
+        rejections = daemon.metrics.counter_value(
+            "repro_service_rejections_total", {"reason": "quota"})
+    return {
+        "attempts": attempts,
+        "burst": burst,
+        "admitted": admitted,
+        "rejected": rejected,
+        "rejections_counter": rejections,
+        "max_retry_after_s": round(retry_hint, 3),
+        "other_tenant_unaffected": True,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    started = time.perf_counter()
+    coalesce = _bench_coalescing(quick)
+    print(f"coalesce   : {coalesce['clients']} clients over "
+          f"{coalesce['unique_specs']} unique specs -> "
+          f"{coalesce['expensive_profile_runs']} profile runs "
+          f"(ratio {coalesce['coalescing_ratio']}x), "
+          f"bit_identical={coalesce['bit_identical']}", flush=True)
+    print(f"latency    : cold p95={coalesce['cold_latency']['p95_s']}s "
+          f"warm p95={coalesce['warm_latency']['p95_s']}s "
+          f"(hit-rate {coalesce['cache_hit_rate']})", flush=True)
+    quota = _bench_quota(quick)
+    print(f"quota      : {quota['admitted']}/{quota['attempts']} admitted, "
+          f"{quota['rejected']} rejected "
+          f"(retry-after <= {quota['max_retry_after_s']}s)", flush=True)
+
+    doc = {
+        "benchmark": "planning-service",
+        "mode": "quick" if quick else "full",
+        "coalescing": coalesce,
+        "quota": quota,
+        "wall_s": round(time.perf_counter() - started, 2),
+    }
+    _check_acceptance(doc)
+    path = QUICK_RESULT_PATH if quick else RESULT_PATH
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+def _check_acceptance(doc: dict) -> None:
+    """The issue's acceptance bar, enforced on every run."""
+    c = doc["coalescing"]
+    if c["expensive_profile_runs"] != c["unique_specs"]:
+        raise AssertionError(
+            f"{c['clients']} concurrent clients over {c['unique_specs']} "
+            f"unique specs ran {c['expensive_profile_runs']} profiles; "
+            f"coalescing must make that exactly {c['unique_specs']}"
+        )
+    if c["flights"]["leaders"] != c["unique_specs"]:
+        raise AssertionError(
+            f"expected {c['unique_specs']} flight leaders, got "
+            f"{c['flights']}"
+        )
+    if c["warm_added_profile_runs"] != 0:
+        raise AssertionError(
+            f"warm pass re-profiled {c['warm_added_profile_runs']} specs"
+        )
+    if not c["bit_identical"]:
+        raise AssertionError(
+            "daemon reports are not bit-identical to in-process planning"
+        )
+    q = doc["quota"]
+    if q["rejected"] < 1 or q["admitted"] < q["burst"]:
+        raise AssertionError(
+            f"quota scenario expected >= {q['burst']:g} admissions and "
+            f">= 1 rejection, got {q['admitted']}/{q['rejected']}"
+        )
+
+
+def test_service_quick():
+    """Pytest harness entry: quick scenarios with a lax ceiling."""
+    started = time.perf_counter()
+    run(quick=True)
+    assert time.perf_counter() - started < 300.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced client/spec counts (CI smoke)")
+    parser.add_argument("--ceiling-s", type=float, default=None,
+                        help="fail if the whole benchmark exceeds this")
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    run(quick=args.quick)
+    elapsed = time.perf_counter() - started
+    print(f"total {elapsed:.1f}s")
+    if args.ceiling_s is not None and elapsed > args.ceiling_s:
+        print(f"FAIL: exceeded {args.ceiling_s}s ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,7 +49,7 @@ from typing import Optional
 from . import api, baselines, core, emulation, experiments, fleet, gpu
 from . import models
 from . import partition as partitioning
-from . import pipeline, profiler, runtime, sim, stragglers, viz
+from . import pipeline, profiler, runtime, service, sim, stragglers, viz
 from .api import (
     PlanReport,
     PlanResult,
@@ -71,7 +71,7 @@ from .pipeline.schedules import schedule_1f1b
 from .profiler.measurement import PipelineProfile
 from .profiler.online import profile_pipeline
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def plan_pipeline(

@@ -24,6 +24,13 @@ Commands:
   synthetic arrivals, an allocation policy (``--policy waterfill``),
   a constant ``--cap-watts`` or a piecewise ``--cap-trace``, report as
   a table or ``--format json|csv``.
+* ``serve``     -- run the multi-tenant planning daemon: the shared
+  planner behind an HTTP/JSON front end with request coalescing,
+  per-tenant quotas, backpressure and a ``/metrics`` endpoint
+  (``--port``, ``--cache-dir``, ``--max-inflight``, ``--quota-rate``).
+* ``call``      -- one RPC against a running daemon: ``repro call
+  ping``, ``repro call plan --params '{"spec": {...}}'``; the special
+  method names ``metrics`` and ``health`` fetch the GET endpoints.
 * ``cache gc`` -- prune a persistent plan store to a size cap
   (least-recently-used entries first, recency = file mtime refreshed on
   every disk hit).  ``repro cache gc --max-bytes 200M``.
@@ -487,6 +494,61 @@ def cmd_cache_gc(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .service import PlanningDaemon
+
+    planner = Planner(cache=args.cache_dir) if args.cache_dir \
+        else default_planner()
+    daemon = PlanningDaemon(
+        planner=planner,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+    )
+    quota = (f"{args.quota_rate:g}/s burst {args.quota_burst:g}"
+             if args.quota_rate else "off")
+    print(f"serving    : {daemon.url}  (POST /rpc, GET /metrics, "
+          f"GET /healthz)")
+    print(f"admission  : max-inflight={args.max_inflight} quota={quota}")
+    if args.cache_dir:
+        print(f"store      : {os.path.abspath(args.cache_dir)}")
+    sys.stdout.flush()
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        daemon.close()
+    return 0
+
+
+def cmd_call(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, tenant=args.tenant,
+                           timeout_s=args.timeout_s)
+    # GET endpoints ride the same subcommand for one-stop scripting.
+    if args.method == "metrics":
+        sys.stdout.write(client.metrics_text())
+        return 0
+    if args.method == "health":
+        json.dump(client.health(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        raise ReproError(f"--params is not valid JSON: {exc}") from exc
+    if not isinstance(params, dict):
+        raise ReproError("--params must be a JSON object")
+    result = client.call(args.method, params, request_id=args.id)
+    json.dump(result, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
 def cmd_strategies(_args) -> int:
     names = list_strategies()
     width = max(len(name) for name in names)
@@ -621,6 +683,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", default=None,
                    help="write the fleet report to this file")
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant planning daemon (HTTP/JSON)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback)")
+    p.add_argument("--port", type=int, default=8421,
+                   help="bind port (0 = ephemeral, printed on startup)")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent plan store shared by every tenant "
+                        "(default: $REPRO_CACHE_DIR if set)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="expensive requests executing at once before "
+                        "429-style backpressure kicks in")
+    p.add_argument("--quota-rate", type=float, default=None,
+                   help="per-tenant sustained quota in expensive "
+                        "requests/second (default: no quotas)")
+    p.add_argument("--quota-burst", type=float, default=8.0,
+                   help="per-tenant token-bucket burst capacity")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "call",
+        help="one RPC against a running daemon ('metrics'/'health' "
+             "fetch the GET endpoints)",
+    )
+    p.add_argument("method",
+                   help="RPC method (ping, plan, register_spec, "
+                        "submit_sweep, report_of, sweep_reports, "
+                        "is_ready, wait_ready, frontier_of, "
+                        "current_schedule, set_straggler, jobs, stats) "
+                        "or metrics/health")
+    p.add_argument("--url", default="http://127.0.0.1:8421",
+                   help="daemon origin")
+    p.add_argument("--params", default=None,
+                   help="JSON object of RPC params, e.g. "
+                        "'{\"spec\": {\"model\": \"gpt3-xl\"}}'")
+    p.add_argument("--tenant", default=None,
+                   help="tenant namespace (X-Repro-Tenant header)")
+    p.add_argument("--id", default=None,
+                   help="idempotent request id (safe retries)")
+    p.add_argument("--timeout-s", type=float, default=600.0,
+                   help="socket timeout per request")
+    p.set_defaults(func=cmd_call)
 
     p = sub.add_parser("cache", help="plan-store maintenance")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

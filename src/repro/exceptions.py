@@ -64,3 +64,23 @@ class ClientError(ReproError):
 
 class NVMLError(ReproError):
     """Simulated NVML rejected an operation (bad handle, bad clock, ...)."""
+
+
+class ServiceError(ReproError):
+    """Planning-daemon failure (transport, protocol, remote fault)."""
+
+
+class QuotaExceeded(ServiceError):
+    """A tenant exhausted its request quota (HTTP 429).
+
+    ``retry_after_s`` is the earliest time the tenant's token bucket
+    can admit another request.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceOverloaded(ServiceError):
+    """The daemon's bounded work queue is full (HTTP 429, backpressure)."""

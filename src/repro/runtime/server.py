@@ -82,6 +82,12 @@ class _Job:
     straggler: Optional[StragglerState] = None
     error: Optional[BaseException] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Set the moment characterization settles (frontier adopted or
+    #: error recorded); ``wait_ready`` blocks on this instead of
+    #: polling.  Never cleared: once a job has settled, waiters return
+    #: instantly (a later re-characterization serves the old frontier
+    #: until the new one lands, exactly as queries always have).
+    settled: threading.Event = field(default_factory=threading.Event)
 
 
 class PerseusServer:
@@ -97,6 +103,12 @@ class PerseusServer:
     def __init__(self, deploy_callback: Optional[DeployCallback] = None,
                  planner: Optional["Planner"] = None):
         self._jobs: Dict[str, _Job] = {}
+        #: Guards the job registry itself.  Registration is
+        #: check-and-insert under this lock, so two concurrent
+        #: ``register_spec``/``register_job`` calls naming the same id
+        #: cannot race into silent last-writer-wins -- exactly one wins,
+        #: the other gets the explicit duplicate :class:`ServerError`.
+        self._registry_lock = threading.Lock()
         self._deploy = deploy_callback
         self._planner = planner
         #: Sweep rows by job id; ``None`` marks an id reserved by an
@@ -115,10 +127,15 @@ class PerseusServer:
     def register_job(
         self, job_id: str, dag: ComputationDag, tau: float = DEFAULT_TAU
     ) -> None:
-        """Register a training job, specified by its computation DAG."""
-        if job_id in self._jobs:
-            raise ServerError(f"job {job_id!r} already registered")
-        self._jobs[job_id] = _Job(job_id=job_id, dag=dag, tau=tau)
+        """Register a training job, specified by its computation DAG.
+
+        Atomic: under concurrent registration of one ``job_id`` exactly
+        one caller wins and every other gets the duplicate error.
+        """
+        with self._registry_lock:
+            if job_id in self._jobs:
+                raise ServerError(f"job {job_id!r} already registered")
+            self._jobs[job_id] = _Job(job_id=job_id, dag=dag, tau=tau)
 
     def register_spec(
         self,
@@ -188,10 +205,12 @@ class PerseusServer:
             with job.lock:
                 job.error = exc
                 job.characterizing = False
+            job.settled.set()
             return
         with job.lock:
             job.frontier = frontier
             job.characterizing = False
+        job.settled.set()
         self._push_schedule(job)
 
     # -- batch sweep service -------------------------------------------------
@@ -223,8 +242,10 @@ class PerseusServer:
         # take seconds, and a concurrent submit_sweep with the same
         # prefix must fail here, not half-way through registration.
         with self._sweep_lock:
+            with self._registry_lock:
+                taken = set(self._jobs)
             for job_id in job_ids:
-                if job_id in self._jobs or job_id in self._reports:
+                if job_id in taken or job_id in self._reports:
                     raise ServerError(
                         f"sweep job {job_id!r} already exists; pick "
                         f"another prefix"
@@ -252,6 +273,7 @@ class PerseusServer:
                 with job.lock:
                     job.profile = stack.profile
                     job.frontier = planner.frontier_for(spec)
+                job.settled.set()
                 self._push_schedule(job)
         except BaseException:
             # A failing registration or deploy callback rolls the whole
@@ -262,7 +284,9 @@ class PerseusServer:
             with self._sweep_lock:
                 for job_id in job_ids:
                     self._reports.pop(job_id, None)
-                    self._jobs.pop(job_id, None)
+                with self._registry_lock:
+                    for job_id in job_ids:
+                        self._jobs.pop(job_id, None)
             raise
         return out
 
@@ -365,10 +389,12 @@ class PerseusServer:
             with job.lock:
                 job.error = exc
                 job.characterizing = False
+            job.settled.set()
             return
         with job.lock:
             job.frontier = frontier
             job.characterizing = False
+        job.settled.set()
         self._push_schedule(job)
 
     # -- queries ---------------------------------------------------------------
@@ -382,15 +408,20 @@ class PerseusServer:
             return job.frontier is not None
 
     def wait_ready(self, job_id: str, timeout_s: float = 300.0) -> Frontier:
-        """Block until the frontier is available (test/experiment helper)."""
-        import time
+        """Block until the frontier is available.
 
-        deadline = time.monotonic() + timeout_s
-        while time.monotonic() < deadline:
-            if self.is_ready(job_id):
-                return self._job(job_id).frontier
-            time.sleep(0.005)
-        raise ServerError(f"timed out waiting for {job_id!r} characterization")
+        Event-driven: the characterization worker signals the job's
+        ``settled`` event the moment the frontier (or an error) lands,
+        so waiters wake immediately instead of busy-polling.
+        """
+        job = self._job(job_id)
+        if not job.settled.wait(timeout_s):
+            raise ServerError(
+                f"timed out waiting for {job_id!r} characterization"
+            )
+        if self.is_ready(job_id):  # raises if characterization failed
+            return job.frontier
+        raise ServerError(f"job {job_id!r} has no frontier yet")
 
     def frontier_of(self, job_id: str) -> Frontier:
         job = self._job(job_id)
@@ -447,6 +478,13 @@ class PerseusServer:
         self._deploy(job.job_id, plans)
 
     def _job(self, job_id: str) -> _Job:
-        if job_id not in self._jobs:
+        with self._registry_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
             raise ServerError(f"unknown job {job_id!r}")
-        return self._jobs[job_id]
+        return job
+
+    def job_ids(self) -> List[str]:
+        """Registered job ids, registration order (service listings)."""
+        with self._registry_lock:
+            return list(self._jobs)

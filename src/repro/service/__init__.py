@@ -1,0 +1,54 @@
+"""repro.service -- the multi-tenant planning daemon.
+
+Wraps the in-process planning stack (:class:`~repro.api.Planner` +
+:class:`~repro.runtime.server.PerseusServer`) in a threaded HTTP/JSON
+front end with the machinery a *shared* planner needs: single-flight
+request coalescing (K concurrent requests over U unique specs -> U
+expensive profile/crawl runs), per-tenant token-bucket quotas, bounded
+in-flight backpressure, idempotent request replay, and a Prometheus
+text ``/metrics`` endpoint.
+
+Server side::
+
+    from repro.service import PlanningDaemon
+
+    with PlanningDaemon(port=0, quota_rate=5.0) as daemon:
+        print(daemon.url)           # http://127.0.0.1:<port>
+        ...
+
+(or ``repro serve --port 8421`` from the shell).  Client side::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(daemon.url, tenant="team-a")
+    report = client.plan(spec)      # bit-identical to planner.plan(spec)
+
+See ``docs/service.md`` for the protocol and operational notes.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .client import ServiceClient
+from .coalesce import SingleFlight, stack_flight_key
+from .daemon import DEFAULT_TENANT, PlanningDaemon
+from .metrics import MetricsRegistry
+from .wire import (
+    report_from_wire,
+    report_to_wire,
+    reports_equal,
+    spec_from_wire,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_TENANT",
+    "MetricsRegistry",
+    "PlanningDaemon",
+    "ServiceClient",
+    "SingleFlight",
+    "TokenBucket",
+    "report_from_wire",
+    "report_to_wire",
+    "reports_equal",
+    "spec_from_wire",
+    "stack_flight_key",
+]

@@ -1,0 +1,156 @@
+"""Admission control: bounded in-flight work + per-tenant token buckets.
+
+The daemon runs on a thread-per-connection HTTP server, so "the work
+queue" is the set of handler threads currently executing an expensive
+method.  :class:`AdmissionController` bounds that set (backpressure: a
+request beyond ``max_inflight`` is rejected 429-style instead of piling
+onto the planner) and meters each tenant through a token bucket, so one
+greedy tenant cannot starve the rest of a shared daemon.
+
+Both rejections are *loud and cheap*: the caller gets
+:class:`~repro.exceptions.QuotaExceeded` (with a ``retry_after_s``
+hint) or :class:`~repro.exceptions.ServiceOverloaded` before any
+planning work starts.
+
+The clock is injectable (``clock=...``) so quota behavior is testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ConfigurationError, QuotaExceeded, ServiceOverloaded
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    ``try_acquire`` is non-blocking: it returns ``0.0`` and debits a
+    token when admitted, or the seconds until a token accrues when not
+    (the 429 ``Retry-After`` hint).  Buckets start full, so a tenant's
+    first ``burst`` requests always pass.
+    """
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0:
+            raise ConfigurationError(
+                f"token bucket rate must be positive, got {rate!r}"
+            )
+        if burst < 1:
+            raise ConfigurationError(
+                f"token bucket burst must be >= 1, got {burst!r}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Debit ``tokens`` if available; else seconds until they are."""
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (refilled to now; diagnostics)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class AdmissionController:
+    """Gate in front of the daemon's expensive methods.
+
+    ``max_inflight`` bounds concurrently executing expensive requests
+    across all tenants (``None`` = unbounded); ``quota_rate`` /
+    ``quota_burst`` configure one lazily created token bucket per
+    tenant (``quota_rate=None`` disables quotas).  Cheap queries
+    (``is_ready``, ``report_of``, metrics scrapes) are expected to
+    bypass admission entirely -- the daemon decides which methods are
+    expensive.
+    """
+
+    def __init__(
+        self,
+        max_inflight: Optional[int] = 8,
+        quota_rate: Optional[float] = None,
+        quota_burst: float = 8.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1 or None, got {max_inflight!r}"
+            )
+        self.max_inflight = max_inflight
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    @property
+    def inflight(self) -> int:
+        """Expensive requests currently executing (the queue depth)."""
+        with self._lock:
+            return self._inflight
+
+    def bucket_for(self, tenant: str) -> Optional[TokenBucket]:
+        if self.quota_rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.quota_rate, self.quota_burst, clock=self._clock
+                )
+            return bucket
+
+    @contextmanager
+    def admit(self, tenant: str):
+        """Admit one expensive request, or raise before any work runs.
+
+        Quota is charged before the inflight slot is taken, so a
+        rejected request never consumes capacity; the token is *not*
+        refunded on overload (the tenant did ask for work).
+        """
+        bucket = self.bucket_for(tenant)
+        if bucket is not None:
+            wait_s = bucket.try_acquire()
+            if wait_s > 0.0:
+                raise QuotaExceeded(
+                    f"tenant {tenant!r} is over quota "
+                    f"({self.quota_rate}/s, burst {self.quota_burst:g}); "
+                    f"retry in {wait_s:.2f}s",
+                    retry_after_s=wait_s,
+                )
+        with self._lock:
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                raise ServiceOverloaded(
+                    f"work queue full ({self._inflight} in flight, "
+                    f"limit {self.max_inflight}); retry later"
+                )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._inflight -= 1

@@ -1,0 +1,206 @@
+"""``ServiceClient``: the daemon's Python face, mirroring ``PerseusServer``.
+
+The client speaks the :mod:`~repro.service.wire` protocol over plain
+:mod:`http.client` (stdlib, one connection per call, ``Connection:
+close``) and returns the same domain objects the in-process API does:
+:class:`~repro.api.planner.PlanReport`,
+:class:`~repro.core.frontier.Frontier`,
+:class:`~repro.core.schedules.EnergySchedule`.  Remote failures
+re-raise as their original :class:`~repro.exceptions.ReproError`
+subclass, so the client is a drop-in for code written against
+:class:`~repro.runtime.server.PerseusServer`::
+
+    client = ServiceClient("http://127.0.0.1:8421", tenant="team-a")
+    report = client.plan(spec)              # == planner.plan(spec)
+    client.register_spec("llama-run", spec)
+    client.wait_ready("llama-run")
+
+Every request carries a fresh unique ``id`` by default, so retrying a
+call that may have landed (``retry_replayed=...``) is safe: the daemon
+replays the recorded response instead of re-executing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import itertools
+import json
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+from urllib.parse import urlsplit
+
+from ..api.planner import PlanReport
+from ..api.spec import PlanSpec
+from ..core.frontier import Frontier
+from ..core.schedule import EnergySchedule
+from ..core.serialization import frontier_from_dict, schedule_from_dict
+from ..exceptions import ServiceError
+from .wire import error_from_wire, report_from_wire
+
+_ids = itertools.count(1)
+_ids_lock = threading.Lock()
+
+
+def _fresh_id() -> str:
+    with _ids_lock:
+        seq = next(_ids)
+    return f"c{seq}-{time.monotonic_ns():x}"
+
+
+class ServiceClient:
+    """HTTP client for a :class:`~repro.service.daemon.PlanningDaemon`.
+
+    ``base_url`` is the daemon's origin (``http://host:port``); pass
+    ``tenant`` to namespace jobs and quota accounting (sent as the
+    ``X-Repro-Tenant`` header).  ``timeout_s`` bounds each socket
+    operation -- leave headroom above ``wait_ready`` timeouts, which
+    hold the connection open server-side.
+    """
+
+    def __init__(self, base_url: str, tenant: Optional[str] = None,
+                 timeout_s: float = 600.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", "") or not (parts.netloc or parts.path):
+            raise ServiceError(
+                f"base_url must be http://host:port, got {base_url!r}"
+            )
+        netloc = parts.netloc or parts.path
+        host, _, port = netloc.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> "http.client.HTTPResponse":
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s)
+        headers = {"Connection": "close"}
+        payload = None
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        if self.tenant is not None:
+            headers["X-Repro-Tenant"] = self.tenant
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            return conn.getresponse()
+        except (ConnectionError, OSError) as exc:
+            conn.close()
+            raise ServiceError(
+                f"cannot reach daemon at {self.host}:{self.port}: {exc}"
+            ) from exc
+
+    def call(self, method: str, params: Optional[dict] = None,
+             request_id: Optional[str] = None):
+        """One RPC; returns the raw ``result`` payload.
+
+        A remote error re-raises as its original exception class (see
+        :data:`~repro.service.wire.ERROR_KINDS`).  Pass the same
+        ``request_id`` to retry idempotently.
+        """
+        envelope = {
+            "id": request_id if request_id is not None else _fresh_id(),
+            "method": method,
+            "params": params or {},
+        }
+        response = self._request("POST", "/rpc", envelope)
+        try:
+            raw = response.read()
+        finally:
+            response.close()
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                f"daemon returned non-JSON (HTTP {response.status}): "
+                f"{raw[:200]!r}"
+            ) from exc
+        if "error" in body:
+            raise error_from_wire(body["error"])
+        if "result" not in body:
+            raise ServiceError(f"malformed response envelope: {body!r}")
+        return body["result"]
+
+    # -- PerseusServer mirror ------------------------------------------------
+    def ping(self) -> dict:
+        """Liveness + daemon version (also confirms the tenant name)."""
+        return self.call("ping")
+
+    def plan(self, spec: PlanSpec) -> PlanReport:
+        """Remote :meth:`Planner.plan` -- bit-identical to in-process."""
+        result = self.call("plan", {"spec": spec.to_dict()})
+        return report_from_wire(result)
+
+    def register_spec(self, job_id: str, spec: PlanSpec) -> None:
+        """Register + characterize a job (blocking; ready on return)."""
+        self.call("register_spec",
+                  {"job_id": job_id, "spec": spec.to_dict()})
+
+    def submit_sweep(self, specs: Iterable[PlanSpec],
+                     prefix: str = "sweep") -> Dict[str, PlanReport]:
+        result = self.call("submit_sweep", {
+            "specs": [spec.to_dict() for spec in specs],
+            "prefix": prefix,
+        })
+        return {job_id: report_from_wire(payload)
+                for job_id, payload in result["reports"].items()}
+
+    def report_of(self, job_id: str) -> PlanReport:
+        return report_from_wire(self.call("report_of", {"job_id": job_id}))
+
+    def sweep_reports(self) -> Dict[str, PlanReport]:
+        result = self.call("sweep_reports")
+        return {job_id: report_from_wire(payload)
+                for job_id, payload in result["reports"].items()}
+
+    def is_ready(self, job_id: str) -> bool:
+        return bool(self.call("is_ready", {"job_id": job_id})["ready"])
+
+    def wait_ready(self, job_id: str, timeout_s: float = 300.0) -> Frontier:
+        result = self.call("wait_ready",
+                           {"job_id": job_id, "timeout_s": timeout_s})
+        return frontier_from_dict(result["frontier"])
+
+    def frontier_of(self, job_id: str) -> Frontier:
+        result = self.call("frontier_of", {"job_id": job_id})
+        return frontier_from_dict(result["frontier"])
+
+    def current_schedule(self, job_id: str) -> EnergySchedule:
+        result = self.call("current_schedule", {"job_id": job_id})
+        return schedule_from_dict(result["schedule"])
+
+    def set_straggler(self, job_id: str, accelerator_id: int,
+                      delay_s: float, degree: float) -> None:
+        self.call("set_straggler", {
+            "job_id": job_id,
+            "accelerator_id": accelerator_id,
+            "delay_s": delay_s,
+            "degree": degree,
+        })
+
+    def jobs(self) -> List[str]:
+        """This tenant's registered job ids."""
+        return list(self.call("jobs")["jobs"])
+
+    def stats(self) -> dict:
+        """Daemon-side service/planner/cache statistics."""
+        return self.call("stats")
+
+    # -- observability endpoints ---------------------------------------------
+    def metrics_text(self) -> str:
+        """Raw ``GET /metrics`` exposition text."""
+        response = self._request("GET", "/metrics")
+        try:
+            return response.read().decode("utf-8")
+        finally:
+            response.close()
+
+    def health(self) -> dict:
+        response = self._request("GET", "/healthz")
+        try:
+            return json.loads(response.read().decode("utf-8"))
+        finally:
+            response.close()

@@ -1,0 +1,577 @@
+"""The planning daemon: HTTP/JSON-RPC front end over ``PerseusServer``.
+
+``PlanningDaemon`` turns the in-process planning stack into a network
+service on the stdlib only: a :class:`http.server.ThreadingHTTPServer`
+(one handler thread per connection) dispatches JSON-RPC-style calls to
+the wrapped :class:`~repro.runtime.server.PerseusServer` and its shared
+:class:`~repro.api.Planner`.  What the daemon adds over a bare RPC
+shim is the multi-tenant machinery:
+
+* **Coalescing** -- every expensive method funnels its spec through a
+  :class:`~repro.service.coalesce.SingleFlight` keyed on the spec's
+  stage-sweep sub-key, so K concurrent requests drawn from U unique
+  specs perform exactly U profile/crawl runs (the acceptance criterion
+  ``BENCH_service.json`` measures).
+* **Admission** -- a bounded in-flight limit (429-style backpressure)
+  plus per-tenant token-bucket quotas, both checked before any
+  planning work starts.
+* **Tenancy** -- job ids are namespaced per tenant (``tenant::id``
+  internally, bare ids on the wire), so two tenants registering
+  ``job-0`` never collide and ``sweep_reports`` only shows a tenant its
+  own rows.
+* **Idempotent request ids** -- a request carrying an ``id`` that
+  already completed successfully is answered from a bounded replay
+  cache without re-executing, so clients can blindly retry over a
+  flaky connection (e.g. a ``register_spec`` retry does not trip the
+  duplicate-job error).
+* **Metrics** -- per-endpoint latency histograms, coalescing and
+  rejection counters, queue depth and the planner's own work/cache
+  counters, exposed at ``GET /metrics`` in Prometheus text format.
+
+Protocol (all POST bodies and responses are JSON)::
+
+    POST /rpc      {"method": ..., "params": {...}, "id": ...,
+                    "tenant": ...}
+                -> {"id": ..., "result": ...}           (HTTP 200)
+                -> {"id": ..., "error": {"kind": ..., "message": ...}}
+                   (HTTP 422 app error / 429 quota-or-backpressure /
+                    400 protocol error / 500 bug)
+    GET /metrics   Prometheus-ish text exposition
+    GET /healthz   {"ok": true, ...}
+
+The tenant comes from the ``X-Repro-Tenant`` header or the body field
+(header wins); absent both, the request belongs to ``"default"``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from ..api.planner import Planner, default_planner
+from ..core.serialization import frontier_to_dict, schedule_to_dict
+from ..exceptions import (
+    ConfigurationError,
+    QuotaExceeded,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from ..runtime.server import PerseusServer
+from .admission import AdmissionController
+from .coalesce import SingleFlight, stack_flight_key
+from .metrics import MetricsRegistry
+from .wire import error_to_wire, report_to_wire, spec_from_wire
+
+#: Separator between the tenant namespace and a job id.  Internal only:
+#: clients always see bare ids.
+TENANT_SEP = "::"
+
+DEFAULT_TENANT = "default"
+
+#: Methods that may trigger profiling or a frontier crawl; only these
+#: pass admission control (quota + bounded in-flight) and coalescing.
+EXPENSIVE_METHODS = frozenset({"plan", "register_spec", "submit_sweep"})
+
+#: Completed responses retained for idempotent replay, per daemon.
+REPLAY_CACHE_SIZE = 1024
+
+
+def _validate_tenant(tenant: str) -> str:
+    if not tenant or not isinstance(tenant, str) or TENANT_SEP in tenant \
+            or any(c.isspace() for c in tenant):
+        raise ConfigurationError(
+            f"tenant must be a non-empty token without {TENANT_SEP!r} or "
+            f"whitespace, got {tenant!r}"
+        )
+    return tenant
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib default backlog of 5 drops SYNs under a thundering
+    # herd of clients (the dropped ones retry after a full second);
+    # coalescing exists precisely for that herd, so accept it whole.
+    request_queue_size = 128
+
+
+class _RpcError(Exception):
+    """Internal: a protocol-level failure with its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class PlanningDaemon:
+    """Multi-tenant planning service over one shared planner/store.
+
+    ``planner`` defaults to the process-wide
+    :func:`~repro.api.planner.default_planner` (so ``REPRO_CACHE_DIR``
+    makes the daemon persistent); pass ``Planner(cache=dir)`` to pin a
+    store explicitly.  ``port=0`` binds an ephemeral port --
+    :attr:`url` reports the bound address after :meth:`start`.
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`::
+
+        with PlanningDaemon(port=0) as daemon:
+            client = ServiceClient(daemon.url)
+            client.ping()
+    """
+
+    def __init__(
+        self,
+        planner: Optional[Planner] = None,
+        server: Optional[PerseusServer] = None,
+        host: str = "127.0.0.1",
+        port: int = 8421,
+        max_inflight: Optional[int] = 8,
+        quota_rate: Optional[float] = None,
+        quota_burst: float = 8.0,
+    ) -> None:
+        self.planner = planner if planner is not None else default_planner()
+        self.server = server if server is not None \
+            else PerseusServer(planner=self.planner)
+        self.metrics = MetricsRegistry()
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            quota_rate=quota_rate,
+            quota_burst=quota_burst,
+        )
+        self._flight = SingleFlight()
+        self._warm_lock = threading.Lock()
+        self._warm_keys: set = set()
+        self._replay_lock = threading.Lock()
+        self._replays: "OrderedDict[Tuple[str, str], dict]" = OrderedDict()
+        self._httpd = _Server((host, port), _make_handler(self))
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self.metrics.describe(
+            "repro_service_requests_total", "RPC requests by method")
+        self.metrics.describe(
+            "repro_service_coalesce_total",
+            "expensive materializations by outcome "
+            "(leader=did the work, follower=waited on an in-flight "
+            "leader, warm=already materialized)")
+        self.metrics.describe(
+            "repro_service_rejections_total",
+            "requests rejected before any work (quota or backpressure)")
+        self.metrics.describe(
+            "repro_service_request_latency_seconds",
+            "wall-clock request latency by method")
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) -- resolved even for ``port=0``."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "PlanningDaemon":
+        """Serve on a background thread; returns self (chainable)."""
+        if self._thread is not None:
+            raise ServiceError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        self._started.set()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (CLI mode)."""
+        self._started.set()
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, drain handlers, unbind.
+
+        Idempotent; in-flight handler threads finish their responses
+        (they are daemon threads only so a wedged handler cannot hang
+        interpreter exit).
+        """
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "PlanningDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- tenancy -------------------------------------------------------------
+    @staticmethod
+    def _qualify(tenant: str, job_id: str) -> str:
+        if not job_id or not isinstance(job_id, str):
+            raise ConfigurationError(
+                f"job_id must be a non-empty string, got {job_id!r}"
+            )
+        return f"{tenant}{TENANT_SEP}{job_id}"
+
+    @staticmethod
+    def _bare(tenant: str, qualified: str) -> str:
+        return qualified[len(tenant) + len(TENANT_SEP):]
+
+    # -- coalesced materialization -------------------------------------------
+    def _materialize(self, spec) -> None:
+        """Warm the spec's expensive planner stages, coalesced.
+
+        Concurrent requests sharing the spec's stage-sweep sub-key ride
+        one flight (one profile run feeds them all); once a key has
+        landed it counts as ``warm`` -- the planner's caches serve it
+        and no flight is needed.  The frontier crawl needs no flight of
+        its own: the memoized optimizer object serializes
+        characterization, so concurrent crawls of one (dag, profile,
+        tau) collapse to a single run regardless.
+        """
+        key = stack_flight_key(spec)
+        with self._warm_lock:
+            if key in self._warm_keys:
+                self.metrics.inc("repro_service_coalesce_total",
+                                 {"outcome": "warm"})
+                return
+        _, role = self._flight.do(key, lambda: self._warm_stack(spec))
+        with self._warm_lock:
+            self._warm_keys.add(key)
+        self.metrics.inc("repro_service_coalesce_total", {"outcome": role})
+
+    def _warm_stack(self, spec) -> None:
+        stack = self.planner.result(spec)
+        if spec.strategy == "perseus":
+            stack.optimizer.frontier  # force the (serialized) crawl
+
+    # -- RPC methods ---------------------------------------------------------
+    def _rpc_ping(self, tenant: str, params: dict) -> dict:
+        from .. import __version__
+
+        return {"ok": True, "version": __version__, "tenant": tenant}
+
+    def _rpc_plan(self, tenant: str, params: dict) -> dict:
+        spec = spec_from_wire(self._require(params, "spec"))
+        self._materialize(spec)
+        return report_to_wire(self.planner.plan(spec))
+
+    def _rpc_register_spec(self, tenant: str, params: dict) -> dict:
+        job_id = self._require(params, "job_id")
+        spec = spec_from_wire(self._require(params, "spec"))
+        self._materialize(spec)
+        # The stack is warm, so blocking registration is instant: the
+        # job is deployable the moment the response lands.
+        self.server.register_spec(
+            self._qualify(tenant, job_id), spec, planner=self.planner,
+            blocking=True,
+        )
+        return {"job_id": job_id, "ready": True}
+
+    def _rpc_submit_sweep(self, tenant: str, params: dict) -> dict:
+        raw_specs = self._require(params, "specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ConfigurationError(
+                "submit_sweep params.specs must be a non-empty list of "
+                "plan_spec payloads"
+            )
+        specs = [spec_from_wire(payload) for payload in raw_specs]
+        prefix = params.get("prefix", "sweep")
+        # Coalesce each unique stack before the batch plan: overlapping
+        # sweeps from other tenants in flight right now share the work.
+        seen = set()
+        for spec in specs:
+            key = stack_flight_key(spec)
+            if key not in seen:
+                seen.add(key)
+                self._materialize(spec)
+        rows = self.server.submit_sweep(
+            specs, planner=self.planner,
+            prefix=self._qualify(tenant, prefix),
+        )
+        return {
+            "reports": {self._bare(tenant, job_id): report_to_wire(report)
+                        for job_id, report in rows.items()}
+        }
+
+    def _rpc_report_of(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        return report_to_wire(self.server.report_of(job_id))
+
+    def _rpc_sweep_reports(self, tenant: str, params: dict) -> dict:
+        mine = f"{tenant}{TENANT_SEP}"
+        return {
+            "reports": {
+                self._bare(tenant, job_id): report_to_wire(report)
+                for job_id, report in self.server.sweep_reports().items()
+                if job_id.startswith(mine)
+            }
+        }
+
+    def _rpc_is_ready(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        return {"ready": self.server.is_ready(job_id)}
+
+    def _rpc_wait_ready(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        timeout_s = float(params.get("timeout_s", 300.0))
+        frontier = self.server.wait_ready(job_id, timeout_s=timeout_s)
+        return {"frontier": frontier_to_dict(frontier)}
+
+    def _rpc_frontier_of(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        return {"frontier": frontier_to_dict(self.server.frontier_of(job_id))}
+
+    def _rpc_current_schedule(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        schedule = self.server.current_schedule(job_id)
+        return {"schedule": schedule_to_dict(schedule)}
+
+    def _rpc_set_straggler(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        self.server.set_straggler(
+            job_id,
+            accelerator_id=int(self._require(params, "accelerator_id")),
+            delay_s=float(self._require(params, "delay_s")),
+            degree=float(self._require(params, "degree")),
+        )
+        return {"ok": True}
+
+    def _rpc_jobs(self, tenant: str, params: dict) -> dict:
+        mine = f"{tenant}{TENANT_SEP}"
+        return {"jobs": [self._bare(tenant, job_id)
+                         for job_id in self.server.job_ids()
+                         if job_id.startswith(mine)]}
+
+    def _rpc_stats(self, tenant: str, params: dict) -> dict:
+        flights = dict(self._flight.stats)
+        leaders = flights["leaders"]
+        warm = self.metrics.counter_value(
+            "repro_service_coalesce_total", {"outcome": "warm"})
+        counters = dict(self.planner.cache.counters)
+        lookups = counters.get("hits", 0) + counters.get("misses", 0)
+        return {
+            "planner": dict(self.planner.stats),
+            "cache": counters,
+            "cache_hit_rate": (counters.get("hits", 0) / lookups
+                               if lookups else None),
+            "coalesce": {
+                "leaders": leaders,
+                "followers": flights["followers"],
+                "warm": warm,
+                # requests-per-expensive-run; K requests over U unique
+                # in-flight specs -> K/U.
+                "ratio": ((leaders + flights["followers"] + warm) / leaders
+                          if leaders else None),
+            },
+            "queue_depth": self.admission.inflight,
+            "jobs": len(self.server.job_ids()),
+            "service": self.metrics.snapshot(),
+        }
+
+    def _require(self, params: dict, name: str):
+        if name not in params:
+            raise ConfigurationError(f"missing required param {name!r}")
+        return params[name]
+
+    # -- dispatch ------------------------------------------------------------
+    def _methods(self) -> Dict[str, object]:
+        return {
+            "ping": self._rpc_ping,
+            "plan": self._rpc_plan,
+            "register_spec": self._rpc_register_spec,
+            "submit_sweep": self._rpc_submit_sweep,
+            "report_of": self._rpc_report_of,
+            "sweep_reports": self._rpc_sweep_reports,
+            "is_ready": self._rpc_is_ready,
+            "wait_ready": self._rpc_wait_ready,
+            "frontier_of": self._rpc_frontier_of,
+            "current_schedule": self._rpc_current_schedule,
+            "set_straggler": self._rpc_set_straggler,
+            "jobs": self._rpc_jobs,
+            "stats": self._rpc_stats,
+        }
+
+    def _replay_get(self, tenant: str, request_id) -> Optional[dict]:
+        if request_id is None:
+            return None
+        key = (tenant, str(request_id))
+        with self._replay_lock:
+            result = self._replays.get(key)
+            if result is not None:
+                self._replays.move_to_end(key)
+            return result
+
+    def _replay_put(self, tenant: str, request_id, result: dict) -> None:
+        if request_id is None:
+            return
+        key = (tenant, str(request_id))
+        with self._replay_lock:
+            self._replays[key] = result
+            self._replays.move_to_end(key)
+            while len(self._replays) > REPLAY_CACHE_SIZE:
+                self._replays.popitem(last=False)
+
+    def handle_rpc(self, envelope: dict, header_tenant: Optional[str]
+                   ) -> Tuple[int, dict, Dict[str, str]]:
+        """One RPC: returns (HTTP status, response body, extra headers).
+
+        Factored off the socket handler so tests (and in-process
+        callers) can exercise the full dispatch path without HTTP.
+        """
+        if not isinstance(envelope, dict):
+            return 400, {"error": error_to_wire(
+                ServiceError("request body must be a JSON object"))}, {}
+        request_id = envelope.get("id")
+        method_name = envelope.get("method")
+        params = envelope.get("params") or {}
+        started = time.perf_counter()
+        status, body, headers = 200, {}, {}
+        label = {"method": str(method_name)}
+        try:
+            tenant = _validate_tenant(
+                header_tenant or envelope.get("tenant") or DEFAULT_TENANT)
+            if not isinstance(params, dict):
+                raise ConfigurationError("params must be a JSON object")
+            method = self._methods().get(method_name)
+            if method is None:
+                raise _RpcError(
+                    400, f"unknown method {method_name!r}; known: "
+                         f"{sorted(self._methods())}")
+            self.metrics.inc("repro_service_requests_total", label)
+            replayed = self._replay_get(tenant, request_id)
+            if replayed is not None:
+                self.metrics.inc("repro_service_replays_total", label)
+                body = {"id": request_id, "result": replayed}
+                headers["X-Repro-Replayed"] = "1"
+            else:
+                if method_name in EXPENSIVE_METHODS:
+                    with self.admission.admit(tenant):
+                        result = method(tenant, params)
+                else:
+                    result = method(tenant, params)
+                self._replay_put(tenant, request_id, result)
+                body = {"id": request_id, "result": result}
+        except (QuotaExceeded, ServiceOverloaded) as exc:
+            reason = ("quota" if isinstance(exc, QuotaExceeded)
+                      else "overload")
+            self.metrics.inc("repro_service_rejections_total",
+                             {"reason": reason})
+            status, body = 429, {"id": request_id,
+                                 "error": error_to_wire(exc)}
+            retry = getattr(exc, "retry_after_s", 0.0)
+            if retry:
+                headers["Retry-After"] = str(max(1, int(retry + 0.999)))
+        except _RpcError as exc:
+            status, body = exc.status, {"id": request_id, "error":
+                                        error_to_wire(ServiceError(str(exc)))}
+        except ReproError as exc:
+            self.metrics.inc("repro_service_errors_total",
+                             {"method": str(method_name),
+                              "kind": type(exc).__name__})
+            status, body = 422, {"id": request_id,
+                                 "error": error_to_wire(exc)}
+        except Exception as exc:  # a bug, not a usage error: log loudly
+            traceback.print_exc(file=sys.stderr)
+            self.metrics.inc("repro_service_errors_total",
+                             {"method": str(method_name),
+                              "kind": type(exc).__name__})
+            status, body = 500, {"id": request_id,
+                                 "error": error_to_wire(exc)}
+        self.metrics.observe("repro_service_request_latency_seconds",
+                             time.perf_counter() - started, label)
+        return status, body, headers
+
+    # -- scrape-time views ---------------------------------------------------
+    def metrics_text(self) -> str:
+        """The ``/metrics`` exposition (live planner/cache families)."""
+        self.metrics.set_gauge("repro_service_queue_depth",
+                               self.admission.inflight)
+        extra = ["# TYPE repro_planner_work_total counter"]
+        for stage, count in sorted(self.planner.stats.items()):
+            extra.append(f'repro_planner_work_total{{stage="{stage}"}} '
+                         f'{count}')
+        counters = dict(self.planner.cache.counters)
+        extra.append("# TYPE repro_cache_events_total counter")
+        for event, count in sorted(counters.items()):
+            extra.append(f'repro_cache_events_total{{event="{event}"}} '
+                         f'{count}')
+        lookups = counters.get("hits", 0) + counters.get("misses", 0)
+        if lookups:
+            extra.append("# TYPE repro_service_cache_hit_ratio gauge")
+            extra.append(f"repro_service_cache_hit_ratio "
+                         f"{counters.get('hits', 0) / lookups:.6f}")
+        return self.metrics.render(extra_lines=extra)
+
+    def health(self) -> dict:
+        return {
+            "ok": True,
+            "jobs": len(self.server.job_ids()),
+            "queue_depth": self.admission.inflight,
+        }
+
+
+def _make_handler(daemon: PlanningDaemon):
+    """The request handler class bound to one daemon instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # Quiet by default: one line per request would swamp benchmarks.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _send(self, status: int, payload: bytes, content_type: str,
+                  headers: Dict[str, str]) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_json(self, status: int, body: dict,
+                       headers: Optional[Dict[str, str]] = None) -> None:
+            data = json.dumps(body).encode("utf-8")
+            self._send(status, data, "application/json", headers or {})
+
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path == "/metrics":
+                text = daemon.metrics_text().encode("utf-8")
+                self._send(200, text, "text/plain; version=0.0.4", {})
+            elif self.path == "/healthz":
+                self._send_json(200, daemon.health())
+            else:
+                self._send_json(404, {"error": error_to_wire(ServiceError(
+                    f"unknown path {self.path!r}; GET serves /metrics "
+                    f"and /healthz, RPCs POST to /rpc"))})
+
+        def do_POST(self) -> None:  # noqa: N802
+            if self.path != "/rpc":
+                self._send_json(404, {"error": error_to_wire(ServiceError(
+                    f"unknown path {self.path!r}; POST to /rpc"))})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                envelope = json.loads(
+                    self.rfile.read(length).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._send_json(400, {"error": error_to_wire(ServiceError(
+                    f"request body is not valid JSON: {exc}"))})
+                return
+            status, body, headers = daemon.handle_rpc(
+                envelope, self.headers.get("X-Repro-Tenant"))
+            self._send_json(status, body, headers)
+
+    return Handler

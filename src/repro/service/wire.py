@@ -1,0 +1,150 @@
+"""Wire formats for the planning daemon (shared by daemon and client).
+
+Everything crossing the HTTP boundary is plain versioned JSON, built on
+the same ``core.serialization`` payloads the plan store persists:
+profiles, frontiers and schedules reuse their existing codecs verbatim,
+so a frontier fetched over the wire is bit-identical to one loaded from
+disk.  This module adds the two shapes that had no serialized form:
+
+* :class:`~repro.api.planner.PlanReport` rows (kind ``plan_report``) --
+  the spec, the scalar row, and the frequency plan.  The simulated
+  ``execution`` and crawl ``timings`` deliberately do not travel: they
+  are diagnostics, and reports must stay bit-identical whether planned
+  in-process or behind a daemon (floats survive JSON exactly:
+  ``json.dumps`` emits the shortest round-tripping repr).
+* error envelopes -- a remote :class:`~repro.exceptions.ReproError`
+  re-raises client-side as the same exception class, so code written
+  against the in-process ``PerseusServer`` keeps its ``except`` clauses
+  when pointed at a daemon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Type
+
+from ..api.planner import PlanReport
+from ..api.spec import SPEC_FORMAT_VERSION, PlanSpec
+from ..exceptions import (
+    ConfigurationError,
+    QuotaExceeded,
+    ReproError,
+    ServerError,
+    ServiceError,
+    ServiceOverloaded,
+)
+
+REPORT_WIRE_VERSION = 1
+
+#: Error ``kind`` -> exception class raised client-side.  Anything not
+#: listed degrades to :class:`ServiceError` (still a ReproError).
+ERROR_KINDS: Dict[str, Type[ReproError]] = {
+    "ServerError": ServerError,
+    "ConfigurationError": ConfigurationError,
+    "QuotaExceeded": QuotaExceeded,
+    "ServiceOverloaded": ServiceOverloaded,
+    "ServiceError": ServiceError,
+}
+
+
+def spec_from_wire(payload: dict) -> PlanSpec:
+    """A tolerant :meth:`PlanSpec.from_dict`: fills kind/version.
+
+    Hand-written RPC params (``repro call``) should not need the
+    ``plan_spec`` envelope boilerplate; fully stamped payloads pass
+    through unchanged.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigurationError("spec must be a JSON object")
+    stamped = dict(payload)
+    stamped.setdefault("kind", "plan_spec")
+    stamped.setdefault("version", SPEC_FORMAT_VERSION)
+    return PlanSpec.from_dict(stamped)
+
+
+def report_to_wire(report: PlanReport) -> dict:
+    """JSON-ready ``plan_report`` payload (spec + scalars + plan)."""
+    return {
+        "kind": "plan_report",
+        "version": REPORT_WIRE_VERSION,
+        "spec": report.spec.to_dict(),
+        "row": report.to_dict(),
+        "plan": {str(node): freq for node, freq in report.plan.items()},
+    }
+
+
+def report_from_wire(payload: dict) -> PlanReport:
+    """Inverse of :func:`report_to_wire`.
+
+    The reconstructed report carries no ``execution``/``timings`` (they
+    never travel); every other field -- including NaN scalars on error
+    rows, serialized as ``null`` -- round-trips bit-exactly.
+    """
+    if not isinstance(payload, dict) or payload.get("kind") != "plan_report":
+        raise ServiceError(
+            f"expected a plan_report payload, got "
+            f"{payload.get('kind') if isinstance(payload, dict) else payload!r}"
+        )
+    if payload.get("version") != REPORT_WIRE_VERSION:
+        raise ServiceError(
+            f"unsupported plan_report version {payload.get('version')!r}"
+        )
+    row = payload["row"]
+
+    def num(value: Optional[float]) -> float:
+        return float("nan") if value is None else value
+
+    return PlanReport(
+        spec=PlanSpec.from_dict(payload["spec"]),
+        strategy=row["strategy"],
+        iteration_time_s=num(row["iteration_time_s"]),
+        energy_j=num(row["energy_j"]),
+        baseline_time_s=num(row["baseline_time_s"]),
+        baseline_energy_j=num(row["baseline_energy_j"]),
+        plan={int(node): freq
+              for node, freq in payload.get("plan", {}).items()},
+        error=row.get("error"),
+    )
+
+
+def reports_equal(a: PlanReport, b: PlanReport) -> bool:
+    """Bit-identity for wire purposes: spec, scalars and plan match.
+
+    NaN scalars (error rows) compare equal to NaN -- two failed rows
+    with the same message are the same row.
+    """
+    def same(x: float, y: float) -> bool:
+        return (x == y) or (math.isnan(x) and math.isnan(y))
+
+    return (
+        a.spec == b.spec
+        and a.strategy == b.strategy
+        and a.error == b.error
+        and a.plan == b.plan
+        and same(a.iteration_time_s, b.iteration_time_s)
+        and same(a.energy_j, b.energy_j)
+        and same(a.baseline_time_s, b.baseline_time_s)
+        and same(a.baseline_energy_j, b.baseline_energy_j)
+    )
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """The error envelope of a failed RPC."""
+    payload = {"kind": type(exc).__name__, "message": str(exc)}
+    retry = getattr(exc, "retry_after_s", None)
+    if retry is not None:
+        payload["retry_after_s"] = retry
+    return payload
+
+
+def error_from_wire(payload: dict) -> ReproError:
+    """Reconstruct the remote exception (degrading to ServiceError)."""
+    kind = payload.get("kind", "ServiceError")
+    message = payload.get("message", "remote error")
+    cls = ERROR_KINDS.get(kind)
+    if cls is QuotaExceeded:
+        return QuotaExceeded(message,
+                             retry_after_s=payload.get("retry_after_s", 0.0))
+    if cls is not None:
+        return cls(message)
+    return ServiceError(f"{kind}: {message}")
