@@ -71,7 +71,7 @@ from .pipeline.schedules import schedule_1f1b
 from .profiler.measurement import PipelineProfile
 from .profiler.online import profile_pipeline
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def plan_pipeline(

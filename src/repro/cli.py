@@ -28,6 +28,9 @@ Commands:
   planner behind an HTTP/JSON front end with request coalescing,
   per-tenant quotas, backpressure and a ``/metrics`` endpoint
   (``--port``, ``--cache-dir``, ``--max-inflight``, ``--quota-rate``).
+  ``--replicas N`` launches N daemon processes over one shared store,
+  coordinated by store-level single-flight leases
+  (``--lease-timeout-s``).
 * ``call``      -- one RPC against a running daemon: ``repro call
   ping``, ``repro call plan --params '{"spec": {...}}'``; the special
   method names ``metrics`` and ``health`` fetch the GET endpoints.
@@ -494,9 +497,55 @@ def cmd_cache_gc(args) -> int:
     return 0
 
 
+def _serve_replicas(args) -> int:
+    """``repro serve --replicas N``: N daemon processes, one store."""
+    import time
+
+    from .api.planner import CACHE_DIR_ENV
+    from .service import ReplicaSet
+
+    root = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if not root:
+        raise ReproError(
+            "--replicas needs a shared plan store for cross-process "
+            f"single-flight: pass --cache-dir or set {CACHE_DIR_ENV}"
+        )
+    extra = ["--max-inflight", str(args.max_inflight),
+             "--quota-burst", str(args.quota_burst)]
+    if args.quota_rate is not None:
+        extra += ["--quota-rate", str(args.quota_rate)]
+    # With an explicit base port the replicas take consecutive ports;
+    # port 0 gives every replica its own ephemeral bind.
+    ports = None if args.port == 0 \
+        else [args.port + i for i in range(args.replicas)]
+    with ReplicaSet(args.replicas, root, host=args.host, ports=ports,
+                    lease_timeout_s=args.lease_timeout_s,
+                    extra_args=extra) as fleet:
+        print(f"replicas   : {args.replicas} daemons over one store "
+              f"(lease {args.lease_timeout_s:g}s)")
+        for daemon in fleet.daemons:
+            print(f"  {daemon.url}  (pid {daemon.pid})")
+        print(f"store      : {os.path.abspath(root)}")
+        print(f"client     : repro call ping --url "
+              f"{','.join(fleet.urls)}")
+        sys.stdout.flush()
+        try:
+            while all(d.alive for d in fleet.daemons):
+                time.sleep(0.5)
+            dead = [d.pid for d in fleet.daemons if not d.alive]
+            print(f"replica(s) {dead} exited; shutting down the fleet",
+                  file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from .service import PlanningDaemon
 
+    if args.replicas > 1:
+        return _serve_replicas(args)
     planner = Planner(cache=args.cache_dir) if args.cache_dir \
         else default_planner()
     daemon = PlanningDaemon(
@@ -506,6 +555,7 @@ def cmd_serve(args) -> int:
         max_inflight=args.max_inflight,
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
+        lease_timeout_s=args.lease_timeout_s,
     )
     quota = (f"{args.quota_rate:g}/s burst {args.quota_burst:g}"
              if args.quota_rate else "off")
@@ -525,10 +575,16 @@ def cmd_serve(args) -> int:
 
 
 def cmd_call(args) -> int:
-    from .service import ServiceClient
+    from .service import ReplicaClient, ServiceClient
 
-    client = ServiceClient(args.url, tenant=args.tenant,
-                           timeout_s=args.timeout_s)
+    # A comma-separated --url gets the replica-aware client: sticky
+    # tenant routing plus failover on unreachable/5xx daemons.
+    if "," in args.url:
+        client = ReplicaClient(args.url, tenant=args.tenant,
+                               timeout_s=args.timeout_s)
+    else:
+        client = ServiceClient(args.url, tenant=args.tenant,
+                               timeout_s=args.timeout_s)
     # GET endpoints ride the same subcommand for one-stop scripting.
     if args.method == "metrics":
         sys.stdout.write(client.metrics_text())
@@ -703,6 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "requests/second (default: no quotas)")
     p.add_argument("--quota-burst", type=float, default=8.0,
                    help="per-tenant token-bucket burst capacity")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="launch N daemon processes over one shared "
+                        "store (needs --cache-dir or REPRO_CACHE_DIR); "
+                        "an explicit --port becomes the base of N "
+                        "consecutive ports")
+    p.add_argument("--lease-timeout-s", type=float, default=5.0,
+                   help="store-flight lease: a leader whose heartbeat "
+                        "stalls this long is presumed crashed and its "
+                        "work is taken over")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -717,7 +782,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "current_schedule, set_straggler, jobs, stats) "
                         "or metrics/health")
     p.add_argument("--url", default="http://127.0.0.1:8421",
-                   help="daemon origin")
+                   help="daemon origin, or a comma-separated replica "
+                        "list (failover client)")
     p.add_argument("--params", default=None,
                    help="JSON object of RPC params, e.g. "
                         "'{\"spec\": {\"model\": \"gpt3-xl\"}}'")

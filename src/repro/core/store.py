@@ -52,7 +52,13 @@ import json
 import os
 import tempfile
 import threading
+from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Optional, Union
+
+try:  # POSIX advisory locks guard gc against concurrent writers
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (no-op locks)
+    fcntl = None
 
 from ..exceptions import ReproError
 from .serialization import (
@@ -124,6 +130,39 @@ def stable_key(key) -> str:
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
+
+
+#: Name of the advisory lock file coordinating writers and ``gc`` across
+#: processes sharing one store root.
+STORE_LOCK_NAME = ".store.lock"
+
+
+@contextmanager
+def store_lock(root: str, exclusive: bool):
+    """Cross-process reader/writer lock over one store root.
+
+    Writers (``PlanStore.put``) hold it *shared*, so any number of
+    processes can persist entries concurrently; ``gc`` holds it
+    *exclusive*, so an eviction scan can never interleave with a write
+    and unlink a file whose ``os.replace`` is still in flight (or race
+    a second gc over the same mtime ordering).  Implemented with
+    ``flock`` -- advisory, blocking, and released automatically if the
+    holder dies.  On platforms without ``fcntl`` the lock degrades to a
+    no-op (single-process behavior, exactly the pre-lock semantics).
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    path = os.path.join(root, STORE_LOCK_NAME)
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
 
 
 class CacheBackend:
@@ -338,7 +377,7 @@ class PlanStore(MemoryCache):
         path = self._path(namespace, key)
         if os.path.exists(path) and path not in self._stale:
             return
-        with self._lock:
+        with self._lock, store_lock(self.root, exclusive=False):
             if os.path.exists(path) and path not in self._stale:
                 return
             text = json.dumps(payload_to_dict(value))
@@ -408,9 +447,12 @@ class PlanStore(MemoryCache):
         ``max_bytes`` defaults to the store's configured cap; ``0``
         clears every persisted entry.  Recency is file mtime: writes
         create it, disk hits refresh it, so untouched artifacts age
-        out first.  Removal is remove-if-present -- concurrent stores
-        pruning the same root race benignly.  Returns
-        ``{"removed", "freed_bytes", "kept_bytes"}``.
+        out first.  The scan-and-delete runs under the store's
+        exclusive :func:`store_lock`, so it serializes against
+        concurrent writers (``put`` holds the lock shared) and against
+        a second gc -- a file being re-put can never be unlinked
+        mid-write, and two gcs never double-prune one mtime ordering.
+        Returns ``{"removed", "freed_bytes", "kept_bytes"}``.
 
         Pruned entries disappear from disk only; values already
         promoted to this process's memory tier stay served from there
@@ -421,23 +463,24 @@ class PlanStore(MemoryCache):
             raise StoreError("gc needs a size cap (max_bytes)")
         if cap < 0:
             raise StoreError("max_bytes must be non-negative")
-        entries = self._disk_entries()
-        total = sum(size for _, size, _ in entries)
         removed = 0
         freed = 0
-        entries.sort()  # oldest mtime first
-        for mtime, size, path in entries:
-            if total - freed <= cap:
-                break
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                continue
-            except OSError:
-                continue
-            removed += 1
-            freed += size
-            self._stale.discard(path)
+        with store_lock(self.root, exclusive=True):
+            entries = self._disk_entries()
+            total = sum(size for _, size, _ in entries)
+            entries.sort()  # oldest mtime first
+            for mtime, size, path in entries:
+                if total - freed <= cap:
+                    break
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+                except OSError:
+                    continue
+                removed += 1
+                freed += size
+                self._stale.discard(path)
         self.counters["gc_removed"] = \
             self.counters.get("gc_removed", 0) + removed
         self._disk_estimate = total - freed

@@ -84,3 +84,20 @@ class QuotaExceeded(ServiceError):
 
 class ServiceOverloaded(ServiceError):
     """The daemon's bounded work queue is full (HTTP 429, backpressure)."""
+
+
+class ServiceUnavailable(ServiceError):
+    """A daemon could not be reached or died mid-request.
+
+    Raised for *transport-level* failures -- connection refused, a
+    socket reset by a daemon restart, a truncated or non-JSON response,
+    an HTTP 5xx -- as opposed to application errors, which re-raise as
+    their original :class:`ReproError` subclass.  Transport failures
+    are exactly the retryable ones: ``retry_after_s`` hints how long to
+    wait before trying this daemon (or, for a replica-aware client, the
+    next one in the list) again.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

@@ -31,7 +31,15 @@ from .client import ServiceClient
 from .coalesce import SingleFlight, stack_flight_key
 from .daemon import DEFAULT_TENANT, PlanningDaemon
 from .metrics import MetricsRegistry
+from .replica import (
+    DaemonProcess,
+    ReplicaClient,
+    ReplicaSet,
+    StoreFlight,
+    sticky_index,
+)
 from .wire import (
+    error_kinds,
     report_from_wire,
     report_to_wire,
     reports_equal,
@@ -41,14 +49,20 @@ from .wire import (
 __all__ = [
     "AdmissionController",
     "DEFAULT_TENANT",
+    "DaemonProcess",
     "MetricsRegistry",
     "PlanningDaemon",
+    "ReplicaClient",
+    "ReplicaSet",
     "ServiceClient",
     "SingleFlight",
+    "StoreFlight",
     "TokenBucket",
+    "error_kinds",
     "report_from_wire",
     "report_to_wire",
     "reports_equal",
     "spec_from_wire",
     "stack_flight_key",
+    "sticky_index",
 ]

@@ -15,9 +15,15 @@ subclass, so the client is a drop-in for code written against
     client.register_spec("llama-run", spec)
     client.wait_ready("llama-run")
 
-Every request carries a fresh unique ``id`` by default, so retrying a
-call that may have landed (``retry_replayed=...``) is safe: the daemon
-replays the recorded response instead of re-executing.
+Transport failures -- connection refused, a daemon restarting
+mid-request (socket reset, truncated response), an HTTP 5xx -- raise
+the *typed* :class:`~repro.exceptions.ServiceUnavailable` (never a raw
+:mod:`http.client` error), whose ``retry_after_s`` hints when a retry
+is worth attempting.  Every request carries a fresh unique ``id`` by
+default, so retrying a call that may have landed is safe: the daemon
+replays the recorded response instead of re-executing.  The
+replica-aware :class:`~repro.service.replica.ReplicaClient` builds its
+failover loop on exactly these two properties.
 """
 
 from __future__ import annotations
@@ -35,8 +41,12 @@ from ..api.spec import PlanSpec
 from ..core.frontier import Frontier
 from ..core.schedule import EnergySchedule
 from ..core.serialization import frontier_from_dict, schedule_from_dict
-from ..exceptions import ServiceError
+from ..exceptions import ServiceError, ServiceUnavailable
 from .wire import error_from_wire, report_from_wire
+
+#: Default retry hint attached to transport-level failures (seconds);
+#: a restarting daemon is typically back within this window.
+RETRY_HINT_S = 0.5
 
 _ids = itertools.count(1)
 _ids_lock = threading.Lock()
@@ -46,6 +56,15 @@ def _fresh_id() -> str:
     with _ids_lock:
         seq = next(_ids)
     return f"c{seq}-{time.monotonic_ns():x}"
+
+
+def _header_safe(value: str) -> bool:
+    """True when ``value`` survives HTTP header (latin-1) encoding."""
+    try:
+        value.encode("latin-1")
+    except UnicodeEncodeError:
+        return False
+    return "\n" not in value and "\r" not in value
 
 
 class ServiceClient:
@@ -73,6 +92,13 @@ class ServiceClient:
         self.timeout_s = timeout_s
 
     # -- transport -----------------------------------------------------------
+    def _unavailable(self, what: str, exc: BaseException) -> ServiceUnavailable:
+        return ServiceUnavailable(
+            f"daemon at {self.host}:{self.port} unavailable ({what}): "
+            f"{type(exc).__name__}: {exc}",
+            retry_after_s=RETRY_HINT_S,
+        )
+
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> "http.client.HTTPResponse":
         conn = http.client.HTTPConnection(
@@ -82,23 +108,27 @@ class ServiceClient:
         if body is not None:
             payload = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        if self.tenant is not None:
+        if self.tenant is not None and _header_safe(self.tenant):
+            # Non-latin-1 tenants travel in the envelope body instead
+            # (HTTP headers cannot carry them); the daemon accepts both.
             headers["X-Repro-Tenant"] = self.tenant
         try:
             conn.request(method, path, body=payload, headers=headers)
             return conn.getresponse()
-        except (ConnectionError, OSError) as exc:
+        except (ConnectionError, OSError,
+                http.client.HTTPException) as exc:
+            # A daemon restart mid-request surfaces here as a reset or
+            # a half-closed socket; map it to the typed, retryable
+            # error instead of leaking raw http.client internals.
             conn.close()
-            raise ServiceError(
-                f"cannot reach daemon at {self.host}:{self.port}: {exc}"
-            ) from exc
+            raise self._unavailable("connect/send", exc) from exc
 
     def call(self, method: str, params: Optional[dict] = None,
              request_id: Optional[str] = None):
         """One RPC; returns the raw ``result`` payload.
 
         A remote error re-raises as its original exception class (see
-        :data:`~repro.service.wire.ERROR_KINDS`).  Pass the same
+        :func:`~repro.service.wire.error_kinds`).  Pass the same
         ``request_id`` to retry idempotently.
         """
         envelope = {
@@ -106,18 +136,33 @@ class ServiceClient:
             "method": method,
             "params": params or {},
         }
+        if self.tenant is not None:
+            envelope["tenant"] = self.tenant
         response = self._request("POST", "/rpc", envelope)
         try:
             raw = response.read()
+        except (ConnectionError, OSError,
+                http.client.HTTPException) as exc:
+            raise self._unavailable("read", exc) from exc
         finally:
             response.close()
         try:
             body = json.loads(raw.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            raise ServiceError(
-                f"daemon returned non-JSON (HTTP {response.status}): "
-                f"{raw[:200]!r}"
+            raise self._unavailable(
+                f"non-JSON response, HTTP {response.status}: {raw[:200]!r}",
+                exc,
             ) from exc
+        if response.status >= 500:
+            # 5xx means the daemon (not the request) is broken; rotate
+            # or retry rather than blaming the caller.  The envelope's
+            # error detail rides along in the message.
+            detail = body.get("error", body)
+            raise ServiceUnavailable(
+                f"daemon at {self.host}:{self.port} failed with HTTP "
+                f"{response.status}: {detail}",
+                retry_after_s=RETRY_HINT_S,
+            )
         if "error" in body:
             raise error_from_wire(body["error"])
         if "result" not in body:

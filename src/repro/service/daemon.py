@@ -11,7 +11,11 @@ shim is the multi-tenant machinery:
   :class:`~repro.service.coalesce.SingleFlight` keyed on the spec's
   stage-sweep sub-key, so K concurrent requests drawn from U unique
   specs perform exactly U profile/crawl runs (the acceptance criterion
-  ``BENCH_service.json`` measures).
+  ``BENCH_service.json`` measures).  When the planner sits on a
+  persistent :class:`~repro.core.store.PlanStore`, the local flight
+  nests inside a :class:`~repro.service.replica.StoreFlight` lease, so
+  the same exactly-once guarantee holds *fleet-wide* across N daemon
+  processes sharing the store (``BENCH_replicas.json``).
 * **Admission** -- a bounded in-flight limit (429-style backpressure)
   plus per-tenant token-bucket quotas, both checked before any
   planning work starts.
@@ -46,6 +50,7 @@ The tenant comes from the ``X-Repro-Tenant`` header or the body field
 from __future__ import annotations
 
 import json
+import os
 import sys
 import threading
 import time
@@ -56,6 +61,7 @@ from typing import Dict, Optional, Tuple
 
 from ..api.planner import Planner, default_planner
 from ..core.serialization import frontier_to_dict, schedule_to_dict
+from ..core.store import PlanStore
 from ..exceptions import (
     ConfigurationError,
     QuotaExceeded,
@@ -65,8 +71,9 @@ from ..exceptions import (
 )
 from ..runtime.server import PerseusServer
 from .admission import AdmissionController
-from .coalesce import SingleFlight, stack_flight_key
+from .coalesce import LEADER, SingleFlight, stack_flight_key
 from .metrics import MetricsRegistry
+from .replica import MATERIALIZE_DELAY_ENV, StoreFlight
 from .wire import error_to_wire, report_to_wire, spec_from_wire
 
 #: Separator between the tenant namespace and a job id.  Internal only:
@@ -134,6 +141,8 @@ class PlanningDaemon:
         max_inflight: Optional[int] = 8,
         quota_rate: Optional[float] = None,
         quota_burst: float = 8.0,
+        store_flight: object = "auto",
+        lease_timeout_s: float = 5.0,
     ) -> None:
         self.planner = planner if planner is not None else default_planner()
         self.server = server if server is not None \
@@ -145,6 +154,19 @@ class PlanningDaemon:
             quota_burst=quota_burst,
         )
         self._flight = SingleFlight()
+        if store_flight == "auto":
+            store_flight = isinstance(self.planner.cache, PlanStore)
+        if store_flight:
+            if not isinstance(self.planner.cache, PlanStore):
+                raise ConfigurationError(
+                    "store-level single-flight needs a persistent "
+                    "PlanStore; pass Planner(cache=<dir>) or disable "
+                    "store_flight"
+                )
+            self._store_flight: Optional[StoreFlight] = StoreFlight(
+                self.planner.cache.root, lease_timeout_s=lease_timeout_s)
+        else:
+            self._store_flight = None
         self._warm_lock = threading.Lock()
         self._warm_keys: set = set()
         self._replay_lock = threading.Lock()
@@ -159,6 +181,12 @@ class PlanningDaemon:
             "expensive materializations by outcome "
             "(leader=did the work, follower=waited on an in-flight "
             "leader, warm=already materialized)")
+        self.metrics.describe(
+            "repro_service_store_flights_total",
+            "cross-process materializations by store role (leader=this "
+            "process held the lease, takeover=seized a stale lease, "
+            "follower=another process's leader landed it, warm=done "
+            "marker already present)")
         self.metrics.describe(
             "repro_service_rejections_total",
             "requests rejected before any work (quota or backpressure)")
@@ -246,12 +274,34 @@ class PlanningDaemon:
                 self.metrics.inc("repro_service_coalesce_total",
                                  {"outcome": "warm"})
                 return
-        _, role = self._flight.do(key, lambda: self._warm_stack(spec))
+        store_role, role = self._flight.do(
+            key, lambda: self._store_warm(spec, key))
         with self._warm_lock:
             self._warm_keys.add(key)
         self.metrics.inc("repro_service_coalesce_total", {"outcome": role})
+        if role == LEADER and store_role is not None:
+            self.metrics.inc("repro_service_store_flights_total",
+                             {"outcome": store_role})
+
+    def _store_warm(self, spec, key) -> Optional[str]:
+        """Warm the stack under the fleet-wide store lease (if attached).
+
+        Only the local single-flight leader gets here, so nesting the
+        in-memory flight outside the store flight is deadlock-free:
+        one lease waiter per process per key.  Returns the store role
+        (``None`` when this daemon runs without a shared store).
+        """
+        if self._store_flight is None:
+            self._warm_stack(spec)
+            return None
+        _, store_role = self._store_flight.do(
+            key, lambda: self._warm_stack(spec))
+        return store_role
 
     def _warm_stack(self, spec) -> None:
+        delay = float(os.environ.get(MATERIALIZE_DELAY_ENV, "0") or 0.0)
+        if delay > 0:  # chaos hook: widen the mid-flight crash window
+            time.sleep(delay)
         stack = self.planner.result(spec)
         if spec.strategy == "perseus":
             stack.optimizer.frontier  # force the (serialized) crawl
@@ -375,6 +425,8 @@ class PlanningDaemon:
                 "ratio": ((leaders + flights["followers"] + warm) / leaders
                           if leaders else None),
             },
+            "store_flight": (dict(self._store_flight.stats)
+                             if self._store_flight is not None else None),
             "queue_depth": self.admission.inflight,
             "jobs": len(self.server.job_ids()),
             "service": self.metrics.snapshot(),

@@ -29,22 +29,35 @@ from ..exceptions import (
     ConfigurationError,
     QuotaExceeded,
     ReproError,
-    ServerError,
     ServiceError,
-    ServiceOverloaded,
+    ServiceUnavailable,
 )
 
 REPORT_WIRE_VERSION = 1
 
-#: Error ``kind`` -> exception class raised client-side.  Anything not
-#: listed degrades to :class:`ServiceError` (still a ReproError).
-ERROR_KINDS: Dict[str, Type[ReproError]] = {
-    "ServerError": ServerError,
-    "ConfigurationError": ConfigurationError,
-    "QuotaExceeded": QuotaExceeded,
-    "ServiceOverloaded": ServiceOverloaded,
-    "ServiceError": ServiceError,
-}
+
+def error_kinds() -> Dict[str, Type[ReproError]]:
+    """Error ``kind`` -> exception class raised client-side.
+
+    Walks the live :class:`ReproError` subclass tree, so *every*
+    library error -- including ones defined outside ``repro.exceptions``
+    (``StoreError``, ``SerializationError``) and ones registered by
+    plugins -- re-raises as its own class on the client.  An unknown
+    kind (a newer server speaking to an older client) degrades to
+    :class:`ServiceError`, still a ReproError.
+    """
+    kinds: Dict[str, Type[ReproError]] = {}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        kinds.setdefault(cls.__name__, cls)
+        stack.extend(cls.__subclasses__())
+    return kinds
+
+
+#: Static snapshot kept for introspection/back-compat; resolution uses
+#: :func:`error_kinds` so late-defined subclasses are never missed.
+ERROR_KINDS = error_kinds()
 
 
 def spec_from_wire(payload: dict) -> PlanSpec:
@@ -62,15 +75,33 @@ def spec_from_wire(payload: dict) -> PlanSpec:
     return PlanSpec.from_dict(stamped)
 
 
+#: Scalar row fields that may be non-finite (error rows are NaN; a
+#: degenerate profile could in principle yield an infinity).  They
+#:  serialize as ``null`` in the strict-JSON row, with the exact value
+#: recorded in a ``nonfinite`` side channel so the round trip stays
+#: bit-exact.
+_SCALAR_FIELDS = ("iteration_time_s", "energy_j", "baseline_time_s",
+                  "baseline_energy_j")
+
+
 def report_to_wire(report: PlanReport) -> dict:
     """JSON-ready ``plan_report`` payload (spec + scalars + plan)."""
-    return {
+    payload = {
         "kind": "plan_report",
         "version": REPORT_WIRE_VERSION,
         "spec": report.spec.to_dict(),
         "row": report.to_dict(),
         "plan": {str(node): freq for node, freq in report.plan.items()},
     }
+    nonfinite = {
+        name: repr(getattr(report, name))
+        for name in _SCALAR_FIELDS
+        if not math.isfinite(getattr(report, name))
+        and not math.isnan(getattr(report, name))
+    }
+    if nonfinite:  # only infinities need the side channel (null == NaN)
+        payload["nonfinite"] = nonfinite
+    return payload
 
 
 def report_from_wire(payload: dict) -> PlanReport:
@@ -90,17 +121,21 @@ def report_from_wire(payload: dict) -> PlanReport:
             f"unsupported plan_report version {payload.get('version')!r}"
         )
     row = payload["row"]
+    nonfinite = payload.get("nonfinite", {})
 
-    def num(value: Optional[float]) -> float:
+    def num(name: str) -> float:
+        if name in nonfinite:
+            return float(nonfinite[name])
+        value = row[name]
         return float("nan") if value is None else value
 
     return PlanReport(
         spec=PlanSpec.from_dict(payload["spec"]),
         strategy=row["strategy"],
-        iteration_time_s=num(row["iteration_time_s"]),
-        energy_j=num(row["energy_j"]),
-        baseline_time_s=num(row["baseline_time_s"]),
-        baseline_energy_j=num(row["baseline_energy_j"]),
+        iteration_time_s=num("iteration_time_s"),
+        energy_j=num("energy_j"),
+        baseline_time_s=num("baseline_time_s"),
+        baseline_energy_j=num("baseline_energy_j"),
         plan={int(node): freq
               for node, freq in payload.get("plan", {}).items()},
         error=row.get("error"),
@@ -141,10 +176,12 @@ def error_from_wire(payload: dict) -> ReproError:
     """Reconstruct the remote exception (degrading to ServiceError)."""
     kind = payload.get("kind", "ServiceError")
     message = payload.get("message", "remote error")
-    cls = ERROR_KINDS.get(kind)
-    if cls is QuotaExceeded:
-        return QuotaExceeded(message,
-                             retry_after_s=payload.get("retry_after_s", 0.0))
+    cls = error_kinds().get(kind)
+    if cls in (QuotaExceeded, ServiceUnavailable):
+        return cls(message, retry_after_s=payload.get("retry_after_s", 0.0))
     if cls is not None:
-        return cls(message)
+        try:
+            return cls(message)
+        except Exception:  # exotic constructor signature
+            return ServiceError(f"{kind}: {message}")
     return ServiceError(f"{kind}: {message}")

@@ -102,7 +102,7 @@ class TestWorkloadFlags:
 
 class TestPublicSurface:
     def test_version_and_all(self):
-        assert repro.__version__ == "1.3.0"
+        assert repro.__version__ == "1.4.0"
         for name in repro.__all__:
             assert hasattr(repro, name), name
 

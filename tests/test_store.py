@@ -499,6 +499,85 @@ class TestParseSize:
             parse_size("-1M")
 
 
+class TestStoreGcLocking:
+    """Regression: ``gc`` vs a concurrent writer / second gc.
+
+    Before the store-level lockfile, an eviction scan could unlink a
+    file whose ``os.replace`` was mid-flight in another process, and
+    two concurrent gcs raced one mtime ordering.  ``put`` now holds the
+    shared :func:`repro.core.store.store_lock` while ``gc`` holds it
+    exclusive -- proven here with real second processes.
+    """
+
+    HOLD_SHARED = (
+        "import sys, time\n"
+        "from repro.core.store import store_lock\n"
+        "with store_lock(sys.argv[1], exclusive=False):\n"
+        "    print('HELD', flush=True)\n"
+        "    time.sleep(float(sys.argv[2]))\n"
+        "print('RELEASED', flush=True)\n"
+    )
+
+    GC_ONCE = (
+        "import json, sys\n"
+        "from repro.core.store import PlanStore\n"
+        "print(json.dumps(PlanStore(sys.argv[1]).gc(0)), flush=True)\n"
+    )
+
+    def _fill(self, root):
+        planner = Planner(cache=root)
+        planner.frontier_for(SMALL)
+        store = planner.cache
+        assert store.disk_bytes() > 0
+        return store
+
+    def _spawn(self, code, *args):
+        return subprocess.Popen(
+            [sys.executable, "-c", code, *map(str, args)],
+            stdout=subprocess.PIPE, text=True,
+            env=dict(os.environ,
+                     PYTHONPATH=os.path.join(os.path.dirname(__file__),
+                                             os.pardir, "src")),
+        )
+
+    def test_gc_blocks_while_a_writer_holds_the_store(self, tmp_path):
+        import time
+
+        store = self._fill(tmp_path / "store")
+        writer = self._spawn(self.HOLD_SHARED, store.root, 1.0)
+        try:
+            assert writer.stdout.readline().strip() == "HELD"
+            started = time.monotonic()
+            result = store.gc(0)
+            elapsed = time.monotonic() - started
+        finally:
+            writer.wait(timeout=30.0)
+        # gc could not start until the writer's shared lock was
+        # released -- the unlink scan can never interleave with a put.
+        assert elapsed >= 0.8
+        assert result["kept_bytes"] == 0
+        assert store.disk_bytes() == 0
+
+    def test_two_process_gcs_never_double_prune(self, tmp_path):
+        store = self._fill(tmp_path / "store")
+        n_entries = len(store._disk_entries())
+        assert n_entries >= 3
+        other = self._spawn(self.GC_ONCE, store.root)
+        try:
+            mine = store.gc(0)
+            theirs = json.loads(other.stdout.readline())
+        finally:
+            other.wait(timeout=60.0)
+        # Exclusive locking serializes the two scans: every entry is
+        # unlinked (and counted) exactly once between the two processes.
+        assert mine["removed"] + theirs["removed"] == n_entries
+        assert store.disk_bytes() == 0
+        # and the store is still a valid, usable root afterwards
+        recovered = Planner(cache=store.root)
+        recovered.plan(SMALL)
+        assert recovered.stats["profile"] == 1
+
+
 class TestCacheGcCli:
     def test_gc_subcommand(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,216 @@
+"""Wire-format robustness: non-finite scalars, unicode tenants,
+version skew, and the full error-envelope taxonomy.
+
+The daemon's bit-identity guarantee is only as strong as the wire
+codecs' worst case, so this module feeds them the corners: every
+NaN/±inf combination a scalar row can hold (round-tripped through
+*strict* JSON -- no ``NaN``/``Infinity`` literals on the wire),
+tenant ids that cannot travel in an HTTP header, payloads from the
+wrong wire version, and one envelope per :class:`ReproError` subclass
+in the live tree.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+
+import pytest
+
+from repro.api import PlanSpec, Planner
+from repro.api.planner import PlanReport
+from repro.api.spec import SPEC_FORMAT_VERSION
+from repro.exceptions import (
+    QuotaExceeded,
+    ReproError,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.service import PlanningDaemon, ServiceClient
+from repro.service.wire import (
+    REPORT_WIRE_VERSION,
+    error_from_wire,
+    error_kinds,
+    error_to_wire,
+    report_from_wire,
+    report_to_wire,
+    reports_equal,
+    spec_from_wire,
+)
+
+TINY = dict(gpu="a100", stages=2, microbatches=2, freq_stride=24)
+
+
+def tiny_spec(model="gpt3-xl", **overrides):
+    merged = dict(TINY)
+    merged.update(overrides)
+    return PlanSpec(model, **merged)
+
+
+def synthetic_report(it, en, bt, be, error=None) -> PlanReport:
+    return PlanReport(
+        spec=tiny_spec(),
+        strategy="perseus",
+        iteration_time_s=it,
+        energy_j=en,
+        baseline_time_s=bt,
+        baseline_energy_j=be,
+        plan={0: 1410, 1: 1200},
+        error=error,
+    )
+
+
+def bit_same(x: float, y: float) -> bool:
+    """NaN==NaN, +inf!=-inf, 0.25==0.25 -- scalar bit identity."""
+    if math.isnan(x) or math.isnan(y):
+        return math.isnan(x) and math.isnan(y)
+    return x == y and math.copysign(1.0, x) == math.copysign(1.0, y)
+
+
+# ------------------------------------------------------------- scalar corners
+NASTY = (1.25, float("nan"), float("inf"), float("-inf"), 1e308, 5e-324)
+
+
+class TestNonFiniteRoundTrip:
+    @pytest.mark.parametrize("values", [
+        # every pairing of one nasty value against a sane row, plus the
+        # all-nasty diagonal -- 25 combos, all through strict JSON
+        *itertools.product(NASTY[:5], [2.5]),
+        *((v, v) for v in NASTY),
+    ])
+    def test_scalar_pair_round_trips_bit_exactly(self, values):
+        scalar, other = values
+        report = synthetic_report(scalar, other, other, scalar,
+                                  error="synthetic row")
+        payload = report_to_wire(report)
+
+        def reject(_):
+            raise AssertionError("non-strict JSON constant on the wire")
+
+        # The wire payload must survive *strict* JSON: no NaN/Infinity
+        # literals, ever (they would break non-Python peers).
+        text = json.dumps(payload, allow_nan=False)
+        back = report_from_wire(json.loads(text, parse_constant=reject))
+        assert reports_equal(report, back)
+        for name in ("iteration_time_s", "energy_j",
+                     "baseline_time_s", "baseline_energy_j"):
+            assert bit_same(getattr(report, name), getattr(back, name))
+
+    def test_infinities_use_the_side_channel_nan_stays_null(self):
+        report = synthetic_report(float("inf"), float("nan"),
+                                  float("-inf"), 3.5, error="x")
+        payload = report_to_wire(report)
+        assert payload["nonfinite"] == {"iteration_time_s": "inf",
+                                        "baseline_time_s": "-inf"}
+        assert payload["row"]["iteration_time_s"] is None
+        assert payload["row"]["energy_j"] is None  # NaN needs no channel
+
+    def test_finite_reports_have_no_side_channel(self):
+        payload = report_to_wire(Planner().plan(tiny_spec()))
+        assert "nonfinite" not in payload
+
+    def test_real_error_row_round_trips_through_daemon(self):
+        planner = Planner()
+        row = planner.sweep([tiny_spec(model="no-such-model")],
+                            errors="report")[0]
+        back = report_from_wire(
+            json.loads(json.dumps(report_to_wire(row), allow_nan=False)))
+        assert reports_equal(row, back)
+        assert math.isnan(back.energy_j)
+
+
+# ------------------------------------------------------------- version skew
+class TestVersionSkew:
+    def test_wrong_report_version_rejected_loudly(self):
+        payload = report_to_wire(synthetic_report(1.0, 2.0, 3.0, 4.0))
+        payload["version"] = REPORT_WIRE_VERSION + 1
+        with pytest.raises(ServiceError, match="version"):
+            report_from_wire(payload)
+        payload.pop("version")
+        with pytest.raises(ServiceError, match="version"):
+            report_from_wire(payload)
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ServiceError, match="plan_report"):
+            report_from_wire({"kind": "plan_spec", "version": 1})
+        with pytest.raises(ServiceError):
+            report_from_wire("not even a dict")
+
+    def test_v1_spec_payload_plans_identically_over_the_wire(self):
+        spec = tiny_spec()
+        payload_v1 = dict(spec.to_dict(), version=1)
+        assert SPEC_FORMAT_VERSION != 1  # the skew is real
+        assert spec_from_wire(payload_v1) == spec
+        with PlanningDaemon(planner=Planner(), port=0) as daemon:
+            client = ServiceClient(daemon.url, tenant="team-a")
+            remote = client.call("plan", {"spec": payload_v1})
+        assert reports_equal(report_from_wire(remote),
+                             Planner().plan(spec))
+
+    def test_bare_spec_payload_is_stamped(self):
+        spec = spec_from_wire({"model": "gpt3-xl", "gpu": "a100",
+                               "stages": 2, "microbatches": 2})
+        assert spec.model == "gpt3-xl"
+
+
+# ------------------------------------------------------------ unicode tenants
+class TestUnicodeTenants:
+    @pytest.mark.parametrize("tenant", [
+        "équipe-α",          # not latin-1-safe: must travel in the body
+        "café",              # latin-1-safe but non-ascii: header path
+        "租户-0",             # CJK
+    ])
+    def test_unicode_tenant_round_trips_over_http(self, tenant):
+        with PlanningDaemon(planner=Planner(), port=0) as daemon:
+            client = ServiceClient(daemon.url, tenant=tenant)
+            assert client.ping()["tenant"] == tenant
+            # Tenancy really keys on the full unicode name: jobs are
+            # invisible to an ascii-mangled sibling.
+            client.register_spec("job", tiny_spec())
+            assert client.jobs() == ["job"]
+            other = ServiceClient(daemon.url, tenant="ascii-tenant")
+            assert other.jobs() == []
+
+
+# -------------------------------------------------------------- error taxonomy
+class TestErrorEnvelopes:
+    def test_every_repro_error_subclass_re_raises_as_itself(self):
+        kinds = error_kinds()
+        assert "StoreError" in kinds          # defined outside exceptions.py
+        assert "SerializationError" in kinds
+        assert len(kinds) > 15
+        for kind, cls in kinds.items():
+            err = error_from_wire({"kind": kind,
+                                   "message": f"remote {kind}",
+                                   "retry_after_s": 1.5})
+            assert type(err) is cls, kind
+            assert f"remote {kind}" in str(err)
+            assert isinstance(err, ReproError)
+
+    def test_round_trip_through_to_wire(self):
+        for kind, cls in error_kinds().items():
+            back = error_from_wire(error_to_wire(cls(f"boom {kind}")))
+            assert type(back) is cls
+
+    def test_retry_hints_survive(self):
+        for cls in (QuotaExceeded, ServiceUnavailable):
+            back = error_from_wire(error_to_wire(
+                cls("wait", retry_after_s=2.5)))
+            assert type(back) is cls
+            assert back.retry_after_s == 2.5
+
+    def test_unknown_kind_degrades_to_service_error(self):
+        err = error_from_wire({"kind": "FromTheFuture", "message": "hi"})
+        assert type(err) is ServiceError
+        assert "FromTheFuture" in str(err)
+
+    def test_late_defined_subclasses_are_not_missed(self):
+        class PopUpError(ServiceError):
+            pass
+
+        try:
+            err = error_from_wire({"kind": "PopUpError", "message": "x"})
+            assert type(err) is PopUpError
+        finally:
+            pass  # test-local class; the registry walk is live, no cleanup
