@@ -6,19 +6,27 @@ plus one 64-stage emulation-scale DAG, once through the preserved seed
 path (``REPRO_SLOW_PATH=1``: dict event times, per-call ``FlowNetwork``
 construction, reference Dinic) and once through the compiled flat-array
 kernel, asserting the two frontiers are bit-identical before recording
-the speedup.  Results land in ``benchmarks/BENCH_optimizer.json`` --
+the speedup.  With ``--exactness fast`` or ``both`` the
+``exactness="fast"`` kernel (warm-started min-cuts, series-parallel
+contraction, incremental event passes) is timed too, its every point
+validated against the exact crawl's tolerance contract, and a small
+enumeration-oracle instance reports the provable optimality gap of
+both modes.  Results land in ``benchmarks/BENCH_optimizer.json`` --
 the repo's perf trajectory for the optimizer hot path.
 
 Run directly::
 
     python benchmarks/bench_optimizer_hotpath.py            # full matrix
     python benchmarks/bench_optimizer_hotpath.py --quick \
-        --ceiling-s 60                                      # CI perf smoke
+        --ceiling-s 60 --exactness both --fast-floor 1.05   # CI perf smoke
 
-``--quick`` runs the kernel side only (the seed side is the slow one)
-on reduced step counts and exits non-zero if any cold characterization
-exceeds the wall-clock ceiling -- a coarse guard against hot-path
-regressions, deliberately generous so CI machine jitter never trips it.
+``--quick`` skips the seed side (the slow one), runs reduced step
+counts and exits non-zero if any cold characterization exceeds the
+wall-clock ceiling -- a coarse guard against hot-path regressions,
+deliberately generous so CI machine jitter never trips it.
+``--fast-floor`` additionally fails the run when the geomean fast-mode
+speedup over the exact kernel falls below the floor, and any
+fast-tolerance or oracle-bound violation always fails.
 
 The module is also collectable by the pytest benchmark harness
 (``pytest benchmarks/bench_optimizer_hotpath.py``), where it runs the
@@ -81,7 +89,7 @@ def _frontier_fingerprint(frontier) -> list:
     ]
 
 
-def _cold_crawl(stack, tau: float, slow: bool):
+def _cold_crawl(stack, tau: float, slow: bool, exactness: str = "exact"):
     """One cold characterization; returns (frontier, seconds)."""
     from repro.core.frontier import characterize_frontier
 
@@ -97,17 +105,92 @@ def _cold_crawl(stack, tau: float, slow: bool):
         os.environ["REPRO_SLOW_PATH"] = "1"
     try:
         started = time.perf_counter()
-        frontier = characterize_frontier(stack.dag, profile, tau=tau)
+        frontier = characterize_frontier(stack.dag, profile, tau=tau,
+                                         exactness=exactness)
         elapsed = time.perf_counter() - started
     finally:
         os.environ.pop("REPRO_SLOW_PATH", None)
     return frontier, elapsed
 
 
-def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
+def _worst_excess(fast_frontier, exact_frontier) -> float:
+    """Worst per-point relative excess of fast over exact-at-same-time."""
+    worst = 0.0
+    for point in fast_frontier.points:
+        ref = exact_frontier.schedule_for(point.iteration_time)
+        excess = (point.effective_energy - ref.effective_energy) / max(
+            abs(ref.effective_energy), 1e-9
+        )
+        worst = max(worst, excess)
+    return worst
+
+
+def _round_timings(timings: dict) -> dict:
+    return {
+        k: (round(v, 4) if isinstance(v, float) else v)
+        for k, v in timings.items()
+    }
+
+
+def _oracle_section(planner) -> dict:
+    """Provable optimality gaps on an enumerable single-microbatch DAG.
+
+    The headline workloads are far too large to enumerate, so the
+    oracle instance is a dedicated 2-stage/1-microbatch pipeline: small
+    enough for an exhaustive ladder sweep, planned with the same cost
+    models.  Gaps are relative to the exact *discrete* optimum (ladder
+    mode); ``bound_violations`` counts frontier points provably below
+    the continuous grid floor -- always zero unless something is wrong.
+    """
+    from repro.baselines.oracle import optimality_gap, oracle_bound
+
+    stack = planner.build_stack(model="gpt3-xl", gpu="a100", stages=2,
+                                microbatches=1, freq_stride=8,
+                                step_target=60)
+    tau = stack.optimizer.tau
+    ladder = oracle_bound(stack.dag, stack.profile, mode="ladder")
+    grid = oracle_bound(stack.dag, stack.profile, grid_points=9)
+    section = {
+        "workload": "gpt3-1.3b@a100-pp2-mb1",
+        "ladder_assignments": ladder.assignments,
+        "grid_assignments": grid.assignments,
+        "grid_slack": round(grid.slack, 4),
+    }
+    for exactness in ("exact", "fast"):
+        frontier, _ = _cold_crawl(stack, tau, slow=False,
+                                  exactness=exactness)
+        violations = sum(
+            1 for p in frontier.points
+            if p.effective_energy < grid.lower_bound(p.iteration_time)
+            - 1e-9
+        )
+        section[f"{exactness}_oracle_gap"] = round(
+            optimality_gap(frontier, ladder), 6
+        )
+        section[f"{exactness}_bound_violations"] = violations
+        if violations:
+            raise AssertionError(
+                f"oracle bound violated by {violations} {exactness} "
+                f"frontier points"
+            )
+    return section
+
+
+def _geomean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run(quick: bool = False, only: Optional[List[str]] = None,
+        exactness: str = "both") -> dict:
     """Run the matrix; returns (and writes) the result document."""
     from repro.api import Planner
+    from repro.core.nextschedule import FAST_TOLERANCE
 
+    if exactness not in ("exact", "fast", "both"):
+        raise ValueError(f"exactness must be exact/fast/both, "
+                         f"got {exactness!r}")
+    run_exact = exactness in ("exact", "both")
+    run_fast = exactness in ("fast", "both")
     planner = Planner()
     rows = []
     for key, kwargs, quick_steps, repeats in WORKLOADS:
@@ -117,6 +200,8 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
             step_target=quick_steps if quick else 250, **kwargs
         )
         tau = stack.optimizer.tau
+        # The exact kernel always runs: it is both a timed column and
+        # the tolerance reference for fast mode.
         kernel_frontier, kernel_s = _cold_crawl(stack, tau, slow=False)
         for _ in range(0 if quick else repeats - 1):
             _, again = _cold_crawl(stack, tau, slow=False)
@@ -130,12 +215,33 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
             "steps": kernel_frontier.steps,
             "points": len(kernel_frontier.points),
             "kernel_s": round(kernel_s, 4),
-            "kernel_timings": {
-                k: (round(v, 4) if isinstance(v, float) else v)
-                for k, v in kernel_frontier.stats["timings"].items()
-            },
+            "kernel_timings": _round_timings(
+                kernel_frontier.stats["timings"]
+            ),
         }
-        if not quick:
+        if run_fast:
+            fast_frontier, fast_s = _cold_crawl(stack, tau, slow=False,
+                                                exactness="fast")
+            for _ in range(0 if quick else repeats - 1):
+                _, again = _cold_crawl(stack, tau, slow=False,
+                                       exactness="fast")
+                fast_s = min(fast_s, again)
+            worst = _worst_excess(fast_frontier, kernel_frontier)
+            if worst > FAST_TOLERANCE:
+                raise AssertionError(
+                    f"{key}: fast mode exceeds the exact crawl by "
+                    f"{worst:.4f} (> {FAST_TOLERANCE} tolerance)"
+                )
+            row.update({
+                "fast_s": round(fast_s, 4),
+                "fast_vs_exact": round(kernel_s / fast_s, 2),
+                "fast_tolerance_worst": round(worst, 6),
+                "fast_points": len(fast_frontier.points),
+                "fast_timings": _round_timings(
+                    fast_frontier.stats["timings"]
+                ),
+            })
+        if not quick and run_exact:
             seed_frontier, seed_s = _cold_crawl(stack, tau, slow=True)
             for _ in range(repeats - 1):
                 _, again = _cold_crawl(stack, tau, slow=True)
@@ -147,6 +253,8 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
                 "speedup": round(seed_s / kernel_s, 2),
                 "bit_identical": identical,
             })
+            if "fast_s" in row:
+                row["fast_speedup"] = round(seed_s / row["fast_s"], 2)
             if not identical:
                 raise AssertionError(
                     f"{key}: kernel frontier diverged from the "
@@ -154,7 +262,11 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
                 )
         rows.append(row)
         line = f"{key:24s} kernel {kernel_s:7.3f}s"
-        if not quick:
+        if "fast_s" in row:
+            line += (f"  fast {row['fast_s']:7.3f}s"
+                     f" ({row['fast_vs_exact']:4.2f}x,"
+                     f" tol {row['fast_tolerance_worst']:.1e})")
+        if "seed_s" in row:
             line += (f"  seed {row['seed_s']:7.3f}s"
                      f"  speedup {row['speedup']:5.2f}x  bit-identical")
         print(line, flush=True)
@@ -162,6 +274,7 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
     doc = {
         "benchmark": "optimizer-hotpath",
         "mode": "quick" if quick else "full",
+        "exactness": exactness,
         "seed_definition": (
             "REPRO_SLOW_PATH=1 oracle: the seed dict event-times / "
             "per-call FlowNetwork implementation preserved verbatim in "
@@ -171,20 +284,46 @@ def run(quick: bool = False, only: Optional[List[str]] = None) -> dict:
             "(both sides must plan from identical coefficients for the "
             "bit-identity check to be meaningful)."
         ),
+        "fast_definition": (
+            "exactness='fast' kernel: warm-started min-cuts, "
+            "series-parallel contraction and incremental event passes; "
+            "every frontier point validated within FAST_TOLERANCE of "
+            "the exact crawl at the same iteration time, and the small "
+            "oracle instance certifies neither mode dips below the "
+            "enumeration lower bound."
+        ),
         "workloads": rows,
     }
+    if run_fast:
+        doc["oracle"] = _oracle_section(planner)
     speedups = [r["speedup"] for r in rows if "speedup" in r]
     if speedups:
-        doc["geomean_speedup"] = round(
-            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2
-        )
+        doc["geomean_speedup"] = round(_geomean(speedups), 2)
+    fast_vs_exact = [r["fast_vs_exact"] for r in rows
+                     if "fast_vs_exact" in r]
+    if fast_vs_exact:
+        doc["geomean_fast_vs_exact"] = round(_geomean(fast_vs_exact), 2)
+    fast_speedups = [r["fast_speedup"] for r in rows
+                     if "fast_speedup" in r]
+    if fast_speedups:
+        doc["geomean_fast_speedup"] = round(_geomean(fast_speedups), 2)
     path = QUICK_RESULT_PATH if quick else RESULT_PATH
     with open(path, "w", encoding="utf-8") as fp:
         json.dump(doc, fp, indent=2)
         fp.write("\n")
+    summary = []
+    if "geomean_speedup" in doc:
+        summary.append(f"geomean speedup {doc['geomean_speedup']}x")
+    if "geomean_fast_speedup" in doc:
+        summary.append(
+            f"fast geomean {doc['geomean_fast_speedup']}x vs seed"
+        )
+    elif "geomean_fast_vs_exact" in doc:
+        summary.append(
+            f"fast geomean {doc['geomean_fast_vs_exact']}x vs exact"
+        )
     print(f"wrote {path}"
-          + (f" (geomean speedup {doc['geomean_speedup']}x)"
-             if speedups else ""))
+          + (f" ({', '.join(summary)})" if summary else ""))
     return doc
 
 
@@ -193,23 +332,38 @@ def test_optimizer_hotpath_quick():
     doc = run(quick=True, only=[WORKLOADS[0][0], WORKLOADS[1][0]])
     for row in doc["workloads"]:
         assert row["kernel_s"] < 60.0, f"{row['workload']} exceeded ceiling"
+        assert row["fast_tolerance_worst"] <= 0.05
+    assert doc["oracle"]["fast_bound_violations"] == 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="kernel side only, reduced step targets")
+                        help="no seed side, reduced step targets")
     parser.add_argument("--ceiling-s", type=float, default=None,
                         help="fail if any cold kernel crawl exceeds this")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of workload keys to run")
+    parser.add_argument("--exactness", choices=("exact", "fast", "both"),
+                        default="both",
+                        help="which optimizer modes to time (fast/both "
+                             "also validate tolerance and oracle bounds)")
+    parser.add_argument("--fast-floor", type=float, default=None,
+                        help="fail if the geomean fast-vs-exact speedup "
+                             "falls below this factor")
     args = parser.parse_args(argv)
-    doc = run(quick=args.quick, only=args.only)
+    doc = run(quick=args.quick, only=args.only, exactness=args.exactness)
     if args.ceiling_s is not None:
         over = [r for r in doc["workloads"] if r["kernel_s"] > args.ceiling_s]
         if over:
             print(f"FAIL: {[r['workload'] for r in over]} exceeded "
                   f"{args.ceiling_s}s ceiling", file=sys.stderr)
+            return 1
+    if args.fast_floor is not None:
+        geomean = doc.get("geomean_fast_vs_exact")
+        if geomean is None or geomean < args.fast_floor:
+            print(f"FAIL: geomean fast-vs-exact speedup {geomean} below "
+                  f"{args.fast_floor}x floor", file=sys.stderr)
             return 1
     return 0
 

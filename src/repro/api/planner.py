@@ -463,8 +463,12 @@ class Planner:
         tau: float,
         dag: ComputationDag,
         profile: PipelineProfile,
+        exactness: str = "exact",
     ) -> PerseusOptimizer:
-        key = (dag_key, profile_key, tau)
+        # exactness is part of the key: fast-mode frontiers are within
+        # tolerance of exact but not bit-identical, so the two modes
+        # must never alias in memory or in a persistent store.
+        key = (dag_key, profile_key, tau, exactness)
 
         def build() -> PerseusOptimizer:
             # A persisted frontier seeds the optimizer pre-characterized:
@@ -473,9 +477,15 @@ class Planner:
             if frontier is not MISS:
                 self._frontier_synced.add(key)
                 return PerseusOptimizer(
-                    dag=dag, profile=profile, tau=tau, _frontier=frontier
+                    dag=dag,
+                    profile=profile,
+                    tau=tau,
+                    exactness=exactness,
+                    _frontier=frontier,
                 )
-            optimizer = PerseusOptimizer(dag=dag, profile=profile, tau=tau)
+            optimizer = PerseusOptimizer(
+                dag=dag, profile=profile, tau=tau, exactness=exactness
+            )
             # Characterization is lazy and may be forced by *any* caller
             # holding the stack (experiments, benchmarks, emulation) --
             # the hook records it with the backend the moment it lands,
@@ -510,6 +520,7 @@ class Planner:
         noise: float = 0.0,
         seed: int = 0,
         step_target: int = DEFAULT_STEP_TARGET,
+        exactness: str = "exact",
     ) -> PlanResult:
         """The raw staged pipeline, for callers not speaking ``PlanSpec``.
 
@@ -538,7 +549,7 @@ class Planner:
             tau, dag_key, profile_key, dag, profile, step_target
         )
         optimizer = self._build_optimizer(
-            dag_key, profile_key, tau, dag, profile
+            dag_key, profile_key, tau, dag, profile, exactness
         )
         return PlanResult(
             model=model_spec,
@@ -552,7 +563,7 @@ class Planner:
                 "partition": partition_key,
                 "profile": profile_key,
                 "dag": dag_key,
-                "optimizer": (dag_key, profile_key, tau),
+                "optimizer": (dag_key, profile_key, tau, exactness),
             },
         )
 
@@ -567,6 +578,7 @@ class Planner:
             tensor_parallel=spec.tensor_parallel,
             freq_stride=spec.effective_freq_stride,
             tau=spec.tau,
+            exactness=spec.exactness,
         )
 
     def cache_keys(self, spec: PlanSpec) -> Dict[str, str]:
@@ -600,6 +612,7 @@ class Planner:
             profile=stack.profile,
             tau=stack.optimizer.tau,
             target_time=straggler_time,
+            exactness=spec.exactness,
             _optimizer_factory=lambda: stack.optimizer,
         )
 
@@ -715,13 +728,18 @@ class Planner:
         homogeneous tuple vs the single name, ``"a100"`` vs
         ``"a100-pcie"``) group together; a spec whose GPUs cannot
         resolve keeps its raw spelling and errors inside its worker.
+        ``exactness`` rides along even though it does not affect the
+        profile: it keys the frontier artifacts, and the service's
+        stack-flight key derives from this signature -- exact and fast
+        planning for the same workload must never coalesce.
         """
         try:
             gpu = _canonical_gpu_key(resolve_gpus(spec.gpu, spec.stages))
         except ReproError:
             gpu = spec.gpu if isinstance(spec.gpu, str) else tuple(spec.gpu)
         return (spec.model, gpu, spec.stages, spec.microbatch_size,
-                spec.tensor_parallel, spec.effective_freq_stride)
+                spec.tensor_parallel, spec.effective_freq_stride,
+                spec.exactness)
 
     def _sweep_chunks(self, specs: List[PlanSpec], jobs: int) -> List[List[int]]:
         """Spec indices per worker, stacks never split across workers.

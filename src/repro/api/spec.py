@@ -19,12 +19,13 @@ from typing import IO, Optional, Tuple, Union
 from ..exceptions import ConfigurationError
 
 #: Serialized-payload schema version (bumped on incompatible changes).
-#: Version 2 added the per-stage ``gpu`` tuple form; version-1 payloads
-#: (always a single GPU name) still load.
-SPEC_FORMAT_VERSION = 2
+#: Version 2 added the per-stage ``gpu`` tuple form; version 3 added the
+#: ``exactness`` field.  Older payloads (which cannot carry the newer
+#: fields) still load.
+SPEC_FORMAT_VERSION = 3
 
 #: Payload versions :meth:`PlanSpec.from_dict` accepts.
-SUPPORTED_SPEC_VERSIONS = (1, 2)
+SUPPORTED_SPEC_VERSIONS = (1, 2, 3)
 
 #: Named profiling-fidelity presets -> default frequency-ladder stride.
 #: ``full`` profiles the complete 15 MHz grid (paper fidelity); ``fast``
@@ -33,6 +34,13 @@ FIDELITY_STRIDES = {"full": 1, "fast": 4, "smoke": 16}
 
 DEFAULT_FIDELITY = "fast"
 DEFAULT_STRATEGY = "perseus"
+
+#: Optimizer exactness modes: ``"exact"`` reproduces the reference
+#: crawl bit-for-bit; ``"fast"`` enables warm-started min-cuts,
+#: incremental event passes and series-parallel contraction (results
+#: stay within the documented tolerance of exact).
+EXACTNESS_MODES = ("exact", "fast")
+DEFAULT_EXACTNESS = "exact"
 
 
 @dataclass(frozen=True)
@@ -61,6 +69,9 @@ class PlanSpec:
             :func:`repro.api.list_strategies`).
         fidelity: Profiling-fidelity preset: ``"full"``, ``"fast"`` or
             ``"smoke"``; only consulted while ``freq_stride`` is None.
+        exactness: Optimizer exactness mode: ``"exact"`` (bit-identical
+            to the reference crawl) or ``"fast"`` (warm-started min-cuts
+            plus series-parallel contraction, within tolerance).
     """
 
     model: str
@@ -73,6 +84,7 @@ class PlanSpec:
     tau: Optional[float] = None
     strategy: str = DEFAULT_STRATEGY
     fidelity: str = DEFAULT_FIDELITY
+    exactness: str = DEFAULT_EXACTNESS
 
     def __post_init__(self) -> None:
         if not self.model or not isinstance(self.model, str):
@@ -131,6 +143,11 @@ class PlanSpec:
             raise ConfigurationError(
                 f"PlanSpec.fidelity must be one of "
                 f"{sorted(FIDELITY_STRIDES)}, got {self.fidelity!r}"
+            )
+        if self.exactness not in EXACTNESS_MODES:
+            raise ConfigurationError(
+                f"PlanSpec.exactness must be one of "
+                f"{list(EXACTNESS_MODES)}, got {self.exactness!r}"
             )
 
     # -- derived values ------------------------------------------------------
@@ -194,6 +211,15 @@ class PlanSpec:
             raise ConfigurationError(
                 "version-1 plan specs name a single GPU; per-stage GPU "
                 "lists require version 2"
+            )
+        if (
+            version < 3
+            and payload.get("exactness", DEFAULT_EXACTNESS)
+            != DEFAULT_EXACTNESS
+        ):
+            raise ConfigurationError(
+                "plan spec versions below 3 cannot carry a non-default "
+                "exactness; re-serialize with version 3"
             )
         fields = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - fields - {"version", "kind"}

@@ -50,6 +50,9 @@ class PlanContext:
     tau: float
     #: Anticipated straggler iteration time ``T'`` (None = no straggler).
     target_time: Optional[float] = None
+    #: Optimizer exactness mode (``"exact"`` or ``"fast"``); consulted
+    #: only when the fallback optimizer is built here.
+    exactness: str = "exact"
     _optimizer_factory: Optional[Callable[[], object]] = field(
         default=None, repr=False
     )
@@ -63,7 +66,10 @@ class PlanContext:
                 from ..core.optimizer import PerseusOptimizer
 
                 self._optimizer = PerseusOptimizer(
-                    dag=self.dag, profile=self.profile, tau=self.tau
+                    dag=self.dag,
+                    profile=self.profile,
+                    tau=self.tau,
+                    exactness=self.exactness,
                 )
             else:
                 self._optimizer = self._optimizer_factory()

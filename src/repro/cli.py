@@ -107,6 +107,12 @@ def _add_plan_args(p: argparse.ArgumentParser,
                    help="profile every k-th 15 MHz clock")
     p.add_argument("--tau", type=float, default=None,
                    help="planning granularity in seconds (auto if omitted)")
+    p.add_argument("--exactness", choices=("exact", "fast"),
+                   default="exact",
+                   help="optimizer mode: 'exact' matches the reference "
+                        "crawl bit-for-bit; 'fast' enables warm-started "
+                        "min-cuts and series-parallel contraction "
+                        "(within tolerance, several times faster)")
 
 
 def _parse_gpu(raw: str):
@@ -127,6 +133,7 @@ def _spec_of(args, strategy: Optional[str] = None) -> PlanSpec:
         freq_stride=args.freq_stride,
         tau=args.tau,
         strategy=strategy or getattr(args, "strategy", "perseus"),
+        exactness=getattr(args, "exactness", "exact"),
     )
 
 
@@ -143,6 +150,16 @@ def _print_timings(timings: Optional[dict]) -> None:
         if name in timings:
             label = name[:-2].replace("_", " ")
             print(f"  {label:<15s}: {timings[name] * 1000.0:8.1f} ms")
+    if timings.get("kernel") == "fast":
+        print(f"  warm cuts      : {timings.get('warm_hits', 0)} hits / "
+              f"{timings.get('warm_misses', 0)} misses")
+        print(f"  contraction    : {timings.get('contractions', 0)} runs, "
+              f"edge ratio {timings.get('contraction_ratio', 1.0):.3f}")
+        print(f"  event passes   : "
+              f"{timings.get('incremental_passes', 0)} incremental / "
+              f"{timings.get('full_passes', 0)} full "
+              f"({timings.get('nodes_recomputed', 0)}/"
+              f"{timings.get('nodes_total', 0)} nodes)")
 
 
 def cmd_plan(args) -> int:

@@ -38,8 +38,10 @@ from ..units import TIME_EPS, ms
 from .costmodel import OpCostModel, build_cost_models
 from .nextschedule import (
     CostTable,
+    FastState,
     compiled_kernel,
     get_next_schedule,
+    next_schedule_fast,
     next_schedule_flat,
     slow_path_enabled,
 )
@@ -111,6 +113,7 @@ def characterize_frontier(
     profile: PipelineProfile,
     tau: float = DEFAULT_TAU,
     max_steps: Optional[int] = None,
+    exactness: str = "exact",
 ) -> Frontier:
     """Run Algorithm 1: enumerate the whole frontier for one pipeline.
 
@@ -120,7 +123,17 @@ def characterize_frontier(
         tau: Unit time reduction per step (trades runtime vs. granularity).
         max_steps: Safety bound on steps (defaults to a generous multiple
             of the Appendix-F bound ``O((t_max - t_min) / tau)``).
+        exactness: ``"exact"`` (bit-identical to the ``REPRO_SLOW_PATH=1``
+            oracle) or ``"fast"`` (warm-started min-cuts, SP contraction
+            and incremental event passes; every point stays within
+            :data:`~repro.core.nextschedule.FAST_TOLERANCE` of the exact
+            crawl's cost).  ``REPRO_SLOW_PATH=1`` always selects the
+            dict oracle regardless.
     """
+    if exactness not in ("exact", "fast"):
+        raise OptimizationError(
+            f"exactness must be 'exact' or 'fast', got {exactness!r}"
+        )
     started = _time.perf_counter()
     cost_models = build_cost_models(profile)
     node_cost: Dict[int, OpCostModel] = {}
@@ -146,6 +159,11 @@ def characterize_frontier(
 
     if slow_path_enabled():
         points, steps, timings = _crawl_dict(
+            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+            tau, max_steps,
+        )
+    elif exactness == "fast":
+        points, steps, timings = _crawl_fast(
             dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
             tau, max_steps,
         )
@@ -188,6 +206,7 @@ def characterize_frontier(
             "num_stages": dag.num_stages,
             "num_microbatches": dag.num_microbatches,
             "raw_points": len(points),
+            "exactness": exactness,
             "timings": timings,
         },
     )
@@ -294,6 +313,58 @@ def _crawl_flat(
             break  # no forward progress; stop rather than loop
         durations, makespan, earliest = nxt
         steps += 1
+    return points, steps, timings
+
+
+def _crawl_fast(
+    dag, ecd, node_cost, cost_models, t_min_schedule, slowest, tau, max_steps
+):
+    """The fast-mode crawl (``exactness="fast"``).
+
+    Same Algorithm-1 loop as :func:`_crawl_flat`, but each step runs
+    :func:`~repro.core.nextschedule.next_schedule_fast`: warm-started
+    min-cuts shared through a crawl-scoped
+    :class:`~repro.core.nextschedule.FastState`, SP-contracted flow
+    instances and incremental event passes.  The fast stage counters
+    are merged into the timings record.
+    """
+    timings = _new_timings("fast")
+    kern = compiled_kernel(ecd, node_cost)
+    costs = [node_cost[c] for c in range(kern.num_comps)]
+    table = CostTable(costs, tau)
+    arena = FlowArena()
+    fast = FastState()
+    builder = _PointBuilder(dag, cost_models)
+    durations = array("d", (slowest[c] for c in range(kern.num_comps)))
+
+    start = _time.perf_counter()
+    earliest, makespan = kern.forward_pass(durations)
+    timings["event_times_s"] += _time.perf_counter() - start
+
+    points: List[EnergySchedule] = []
+    steps = 0
+    t_min_time = t_min_schedule.iteration_time
+    while True:
+        start = _time.perf_counter()
+        points.append(builder.point(durations, makespan))
+        timings["schedule_s"] += _time.perf_counter() - start
+        if points[-1].iteration_time <= t_min_time + TIME_EPS:
+            break
+        if steps >= max_steps:
+            break
+        nxt = next_schedule_fast(
+            kern, durations, costs, tau,
+            arena=arena, timings=timings,
+            start_makespan=makespan, start_earliest=earliest,
+            cost_table=table, fast=fast,
+        )
+        if nxt is None:
+            break
+        if nxt.makespan >= points[-1].iteration_time - TIME_EPS:
+            break  # no forward progress; stop rather than loop
+        durations, makespan, earliest = nxt
+        steps += 1
+    fast.export(timings)
     return points, steps, timings
 
 

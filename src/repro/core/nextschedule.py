@@ -60,10 +60,11 @@ from ..graph.critical import critical_subgraph, event_times
 from ..graph.edgecentric import EdgeCentricDag
 from ..graph.lowerbounds import (
     BoundedEdge,
+    contract_series_parallel,
     max_flow_with_lower_bounds_reference,
     solve_bounded_arrays,
 )
-from ..graph.maxflow import INF, FlowArena
+from ..graph.maxflow import INF, FlowArena, WarmCutCache
 from .costmodel import OpCostModel
 
 #: Floor for positive arc capacities; keeps zero-cost arcs from being cut
@@ -552,6 +553,380 @@ def _fallback_speedup_only_flat(
         timings["cuts"] += 1
     return _apply_cut_flat(
         kern, current, cur_makespan, tau, inst, mask, timings
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fast kernel (exactness="fast"): warm cuts, SP contraction, incremental
+# event passes.  Relaxes bit-identity with the oracle; validated to
+# FAST_TOLERANCE by tests/test_fast_mode.py and the optimizer benchmark.
+# ---------------------------------------------------------------------------
+
+#: Stated tolerance of fast mode: every fast-mode frontier point's
+#: effective energy is within ``(1 + FAST_TOLERANCE)`` of the exact
+#: crawl's cost at the same (or smaller) iteration-time budget.
+FAST_TOLERANCE = 0.05
+
+#: Env knob for the warm-cut relative slack (fraction of the recorded
+#: cut's value a replayed cut may be suboptimal by, per reuse).
+FAST_WARM_SLACK_ENV = "REPRO_FAST_WARM_SLACK"
+
+#: Default warm-cut slack.  Between adjacent partial moves capacities
+#: drift by the second-order curvature of ``eta`` (O(tau) relative), so
+#: 1% buys long reuse runs at small tau while staying far inside
+#: FAST_TOLERANCE for the crawl as a whole.
+FAST_WARM_SLACK_DEFAULT = 0.01
+
+
+class FastState:
+    """Crawl-scoped scratch for the fast kernel.
+
+    Holds the :class:`~repro.graph.maxflow.WarmCutCache` shared across
+    steps plus the stage counters the fast mode reports back through
+    ``Frontier.stats["timings"]`` (warm-start hits/misses, contraction
+    ratio, incremental-pass node counts).
+    """
+
+    __slots__ = ("warm", "warm_slack", "last_contraction", "stats")
+
+    def __init__(self, warm_slack: Optional[float] = None) -> None:
+        if warm_slack is None:
+            warm_slack = float(
+                os.environ.get(FAST_WARM_SLACK_ENV, "")
+                or FAST_WARM_SLACK_DEFAULT
+            )
+        self.warm = WarmCutCache()
+        self.warm_slack = warm_slack
+        #: Contraction of the most recently solved instance (None when
+        #: that instance did not reduce); the zero-lb fallback re-solve
+        #: of the *same* instance reuses it instead of re-contracting.
+        self.last_contraction = None
+        self.stats = {
+            "contractions": 0,
+            "contract_edges_before": 0,
+            "contract_edges_after": 0,
+            "incremental_passes": 0,
+            "full_passes": 0,
+            "nodes_recomputed": 0,
+            "nodes_total": 0,
+        }
+
+    def export(self, timings: Optional[dict]) -> None:
+        """Merge the fast counters into a crawl's timings dict."""
+        if timings is None:
+            return
+        timings.update(self.stats)
+        timings["warm_hits"] = self.warm.hits
+        timings["warm_misses"] = self.warm.misses
+        before = self.stats["contract_edges_before"]
+        after = self.stats["contract_edges_after"]
+        timings["contraction_ratio"] = (after / before) if before else 1.0
+
+
+def next_schedule_fast(
+    kern: CompiledDag,
+    durations: array,
+    costs: Sequence[OpCostModel],
+    tau: float,
+    arena: Optional[FlowArena] = None,
+    timings: Optional[dict] = None,
+    start_makespan: Optional[float] = None,
+    start_earliest: Optional[List[float]] = None,
+    cost_table: Optional[CostTable] = None,
+    fast: Optional[FastState] = None,
+) -> Optional[FlatStep]:
+    """One Algorithm-2 step on the fast (tolerance-validated) kernel.
+
+    Same contract as :func:`next_schedule_flat` -- the returned
+    durations still shave ~``tau`` off the makespan and every move is a
+    genuine cut move -- but the cut may be up to the warm-cut slack away
+    from minimal and min-cut solves run on the SP-contracted core, so
+    the resulting frontier is *not* bit-identical to the oracle.  Pass a
+    crawl-scoped :class:`FastState` to share warm cuts across steps.
+    """
+    if tau <= 0:
+        raise OptimizationError("tau must be positive")
+    if kern.t_min is None or kern.t_max is None:
+        raise OptimizationError(
+            "kernel was compiled without cost models; use "
+            "CompiledDag.from_edge_centric(ecd, node_cost)"
+        )
+    if cost_table is None:
+        cost_table = CostTable(costs, tau)
+    if fast is None:
+        fast = FastState()
+    if start_makespan is None or start_earliest is None:
+        start_earliest, start_makespan = _timed_forward(
+            kern, durations, timings
+        )
+        fast.stats["full_passes"] += 1
+        fast.stats["nodes_recomputed"] += kern.num_nodes
+        fast.stats["nodes_total"] += kern.num_nodes
+    current = durations
+    cur_makespan = start_makespan
+    cur_earliest: Optional[List[float]] = start_earliest
+    moved = False
+    max_inner = max(32, kern.num_comps)
+    for _ in range(max_inner):
+        nxt = _solve_one_cut_fast(
+            kern, current, cur_makespan, cur_earliest, cost_table, tau,
+            arena, timings, fast,
+        )
+        if nxt is None:
+            break
+        current, cur_makespan, cur_earliest = nxt
+        moved = True
+        if start_makespan - cur_makespan >= 0.9 * tau:
+            break
+    if not moved:
+        return None
+    if start_makespan - cur_makespan < 1e-12:
+        return None
+    return FlatStep(current, cur_makespan, cur_earliest)
+
+
+def _changed_comps(old: Sequence[float], new: Sequence[float]) -> List[int]:
+    return [c for c in range(len(old)) if old[c] != new[c]]
+
+
+def _fast_forward(
+    kern, base_earliest, new_durations, changed_comps, timings, fast
+) -> Tuple[List[float], float]:
+    """Forward pass recomputing only the cone below ``changed_comps``.
+
+    ``base_earliest`` must be the earliest times of the durations the
+    changed computations were edited from.  Bit-identical to a full
+    :meth:`CompiledDag.forward_pass` on ``new_durations``.
+    """
+    start = perf_counter()
+    from_pos = kern.min_affected_pos(changed_comps)
+    ear, makespan, recomputed = kern.forward_pass_incremental(
+        new_durations, base_earliest, from_pos
+    )
+    if timings is not None:
+        timings["event_times_s"] += perf_counter() - start
+    st = fast.stats
+    if recomputed >= kern.num_nodes:
+        st["full_passes"] += 1
+    else:
+        st["incremental_passes"] += 1
+    st["nodes_recomputed"] += recomputed
+    st["nodes_total"] += kern.num_nodes
+    return ear, makespan
+
+
+def _solve_instance_fast(inst: _FlatInstance, arena, timings, fast,
+                         reuse=None):
+    """Min-cut side mask of ``inst`` via the SP-contracted core.
+
+    The contraction preserves feasibility and the min-cut value exactly;
+    on an infeasible instance the contracted violating set is expanded
+    back through the composition trees (the expansion preserves each
+    composite's cut contribution, so the set's negative value survives)
+    and re-raised in the instance's own compact node ids for the repair
+    logic.  ``reuse`` supplies a ready
+    :class:`~repro.graph.lowerbounds.SPContraction` already matching
+    ``inst`` (the zero-lb fallback path) to skip re-contracting.
+    """
+    st = fast.stats
+    t0 = perf_counter()
+    try:
+        if reuse is not None:
+            con = reuse
+        else:
+            st["contract_edges_before"] += len(inst.bu)
+            con = contract_series_parallel(
+                inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+                inst.s, inst.t,
+            )
+            fast.last_contraction = con
+            if con is not None:
+                st["contractions"] += 1
+                st["contract_edges_after"] += len(con.edge_u)
+            else:
+                st["contract_edges_after"] += len(inst.bu)
+        if con is None:
+            _, _, mask = solve_bounded_arrays(
+                inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+                inst.s, inst.t, arena=arena, need_flows=False,
+            )
+            return mask
+        try:
+            _, _, cmask = solve_bounded_arrays(
+                con.num_nodes, con.edge_u, con.edge_v, con.lower,
+                con.upper, con.s, con.t, arena=arena, need_flows=False,
+            )
+        except InfeasibleFlowError as cerr:
+            vmask = bytearray(con.num_nodes)
+            for n in cerr.violating_set:
+                vmask[n] = 1
+            full = con.expand_mask(vmask)
+            err = InfeasibleFlowError(str(cerr))
+            err.violating_set = {
+                n for n in range(inst.num_compact) if full[n]
+            }
+            raise err from None
+        return con.expand_mask(cmask)
+    finally:
+        if timings is not None:
+            timings["maxflow_s"] += perf_counter() - t0
+            timings["cuts"] += 1
+
+
+def _solve_one_cut_fast(
+    kern, current, cur_makespan, cur_earliest, table, tau, arena, timings,
+    fast,
+) -> Optional[FlatStep]:
+    """Fast-mode counterpart of :func:`_solve_one_cut_flat`."""
+    for _ in range(MAX_REPAIRS):
+        t0 = perf_counter()
+        info = kern.critical_pass(current, forward=cur_earliest)
+        t1 = perf_counter()
+        inst = _build_instance_flat(kern, current, table, info.critical)
+        if timings is not None:
+            t2 = perf_counter()
+            timings["event_times_s"] += t1 - t0
+            timings["instance_build_s"] += t2 - t1
+        if inst is None:
+            return None
+
+        mask = fast.warm.try_reuse(
+            inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub,
+            fast.warm_slack,
+        )
+        if mask is not None:
+            step = _apply_cut_fast(
+                kern, current, cur_earliest, cur_makespan, tau, inst,
+                mask, timings, fast,
+            )
+            if step is not None:
+                return step
+            # The replayed cut no longer moves anything; solve fresh.
+            fast.warm.invalidate()
+
+        try:
+            mask = _solve_instance_fast(inst, arena, timings, fast)
+        except InfeasibleFlowError as err:
+            repaired = None
+            if err.violating_set:
+                repaired = _apply_repair_flat(
+                    kern, current, tau, inst, err.violating_set
+                )
+            if repaired is not None:
+                rep_earliest, rep_makespan = _fast_forward(
+                    kern, cur_earliest, repaired,
+                    _changed_comps(current, repaired), timings, fast,
+                )
+                if rep_makespan <= cur_makespan + 1e-12:
+                    current = repaired
+                    cur_makespan = rep_makespan
+                    cur_earliest = rep_earliest
+                    if timings is not None:
+                        timings["repairs"] += 1
+                    continue
+            # Repair unavailable: drop the slowdown credits for this step.
+            inst = _FlatInstance(
+                inst.bu, inst.bv, [0.0] * len(inst.blb), inst.bub,
+                inst.binf, inst.crit, inst.num_compact, inst.s, inst.t,
+            )
+            reuse = fast.last_contraction
+            mask = _solve_instance_fast(
+                inst, arena, timings, fast,
+                reuse=None if reuse is None else reuse.with_zero_lower(),
+            )
+        fast.warm.record(
+            inst.num_compact, inst.bu, inst.bv, inst.blb, inst.bub, mask
+        )
+        return _apply_cut_fast(
+            kern, current, cur_earliest, cur_makespan, tau, inst, mask,
+            timings, fast,
+        )
+    return _fallback_speedup_only_fast(
+        kern, current, cur_makespan, cur_earliest, table, tau, arena,
+        timings, fast,
+    )
+
+
+def _apply_cut_fast(
+    kern, current, cur_earliest, cur_makespan, tau, inst: _FlatInstance,
+    mask, timings, fast,
+) -> Optional[FlatStep]:
+    """Apply a (possibly replayed) cut with incremental event passes."""
+    bu, bv = inst.bu, inst.bv
+    forward: List[int] = []
+    backward: List[int] = []
+    for i in range(len(bu)):
+        u_in = mask[bu[i]]
+        v_in = mask[bv[i]]
+        if u_in and not v_in:
+            forward.append(i)
+        elif v_in and not u_in:
+            backward.append(i)
+    if not forward:
+        return None
+
+    ecomp = kern.edge_comp
+    crit = inst.crit
+    t_min, t_max = kern.t_min, kern.t_max
+    new_durations = array("d", current)
+    fwd_comps: List[int] = []
+    for i in forward:
+        comp = ecomp[crit[i]]
+        if comp < 0:
+            raise OptimizationError(
+                "min cut crossed an infinite-capacity dependency edge"
+            )
+        new_durations[comp] = max(new_durations[comp] - tau, t_min[comp])
+        fwd_comps.append(comp)
+    speedup_only = array("d", new_durations)
+    slow_comps: List[int] = []
+    for i in backward:
+        comp = ecomp[crit[i]]
+        if comp < 0 or inst.blb[i] <= 0.0:
+            continue  # nothing to gain from slowing this edge
+        new_durations[comp] = min(new_durations[comp] + tau, t_max[comp])
+        slow_comps.append(comp)
+
+    if slow_comps:
+        new_earliest, new_makespan = _fast_forward(
+            kern, cur_earliest, new_durations, fwd_comps + slow_comps,
+            timings, fast,
+        )
+        if new_makespan >= cur_makespan - 1e-12:
+            so_earliest, so_makespan = _fast_forward(
+                kern, cur_earliest, speedup_only, fwd_comps, timings, fast
+            )
+            return FlatStep(speedup_only, so_makespan, so_earliest)
+        return FlatStep(new_durations, new_makespan, new_earliest)
+    earliest, makespan = _fast_forward(
+        kern, cur_earliest, new_durations, fwd_comps, timings, fast
+    )
+    return FlatStep(new_durations, makespan, earliest)
+
+
+def _fallback_speedup_only_fast(
+    kern, current, cur_makespan, cur_earliest, table, tau, arena, timings,
+    fast,
+) -> Optional[FlatStep]:
+    """Last resort after repair ping-pong: pure speedup min cut."""
+    t0 = perf_counter()
+    info = kern.critical_pass(current, forward=cur_earliest)
+    t1 = perf_counter()
+    inst = _build_instance_flat(kern, current, table, info.critical)
+    if timings is not None:
+        t2 = perf_counter()
+        timings["event_times_s"] += t1 - t0
+        timings["instance_build_s"] += t2 - t1
+    if inst is None:
+        return None
+    inst = _FlatInstance(
+        inst.bu, inst.bv, [0.0] * len(inst.blb), inst.bub,
+        inst.binf, inst.crit, inst.num_compact, inst.s, inst.t,
+    )
+    mask = _solve_instance_fast(inst, arena, timings, fast)
+    return _apply_cut_fast(
+        kern, current, cur_earliest, cur_makespan, tau, inst, mask,
+        timings, fast,
     )
 
 

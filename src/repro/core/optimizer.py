@@ -26,6 +26,10 @@ class PerseusOptimizer:
     dag: ComputationDag
     profile: PipelineProfile
     tau: float = DEFAULT_TAU
+    #: ``"exact"`` (bit-identical to the reference crawl) or ``"fast"``
+    #: (warm-started min-cuts + series-parallel contraction, within
+    #: tolerance of exact).
+    exactness: str = "exact"
     _frontier: Optional[Frontier] = None
     #: Fired exactly once, right after lazy characterization -- the hook
     #: the planner's cache backend uses to persist frontiers no matter
@@ -75,7 +79,10 @@ class PerseusOptimizer:
             with self._char_lock:
                 if self._frontier is None:
                     frontier = characterize_frontier(
-                        self.dag, self.profile, tau=self.tau
+                        self.dag,
+                        self.profile,
+                        tau=self.tau,
+                        exactness=self.exactness,
                     )
                     if self.on_characterized is not None:
                         self.on_characterized(frontier)

@@ -104,6 +104,7 @@ class CompiledDag:
         "_fu", "_fv", "_fc",
         "_bu", "_bv", "_bc", "_bidx",
         "_np_eu", "_np_ev", "_np_ec",
+        "_pos", "_ie", "_istart", "_comp_min_head",
     )
 
     def __init__(self, ecd: EdgeCentricDag,
@@ -146,6 +147,12 @@ class CompiledDag:
         self._bc = [ec_dense[k] for k in bwd]
         self._bidx = list(bwd)  # original edge index per backward slot
         self._np_eu = self._np_ev = self._np_ec = None
+        # Incremental-pass structures (fast mode only) are built lazily
+        # by _ensure_incremental so exact-mode compilation pays nothing.
+        self._pos = pos
+        self._ie = None
+        self._istart = None
+        self._comp_min_head = None
 
         self.t_min = None if t_min is None else array("d", t_min)
         self.t_max = None if t_max is None else array("d", t_max)
@@ -276,6 +283,86 @@ class CompiledDag:
                 append(idx)
         critical.sort()
         return FlatTimes(ear, lat, makespan, critical)
+
+    # -- incremental forward pass (fast mode) --------------------------------
+    def _ensure_incremental(self) -> None:
+        """Build the head-sorted edge permutation used by
+        :meth:`forward_pass_incremental` (lazily -- exact mode never
+        pays for it).
+
+        ``_ie`` holds ``(u, v, comp)`` triples sorted by ascending
+        topological position of the *head*; ``_istart[p]`` is the first
+        slot whose head sits at topological position >= ``p``, so the
+        edges that can influence nodes at positions ``>= p`` form
+        exactly the suffix ``_ie[_istart[p]:]``.  ``_comp_min_head[c]``
+        is the smallest head position among edges of computation ``c``:
+        changing only that computation's duration leaves every node
+        strictly before it untouched.
+        """
+        if self._ie is not None:
+            return
+        pos = self._pos
+        eu, ev, ec = self._eu, self._ev, self._ec
+        order = sorted(range(self.num_edges), key=lambda k: pos[ev[k]])
+        self._ie = [(eu[k], ev[k], ec[k]) for k in order]
+        istart = [self.num_edges] * (self.num_nodes + 1)
+        for slot in range(self.num_edges - 1, -1, -1):
+            istart[pos[ev[order[slot]]]] = slot
+        for p in range(self.num_nodes - 1, -1, -1):
+            if istart[p] > istart[p + 1]:
+                istart[p] = istart[p + 1]
+        self._istart = istart
+        min_head = [self.num_nodes] * (self.num_comps + 1)
+        for k in range(self.num_edges):
+            c = self._ec[k]
+            p = pos[ev[k]]
+            if p < min_head[c]:
+                min_head[c] = p
+        self._comp_min_head = min_head
+
+    def min_affected_pos(self, comps) -> int:
+        """Smallest topological position whose earliest time can change
+        when only ``comps``' durations change (``num_nodes`` if none)."""
+        self._ensure_incremental()
+        min_head = self._comp_min_head
+        best = self.num_nodes
+        for c in comps:
+            p = min_head[c]
+            if p < best:
+                best = p
+        return best
+
+    def forward_pass_incremental(
+        self,
+        durations: Sequence[float],
+        prev_earliest: Sequence[float],
+        from_pos: int,
+    ) -> Tuple[List[float], float, int]:
+        """Earliest times recomputed only for topological positions
+        ``>= from_pos``; positions before it are copied from
+        ``prev_earliest`` (which must match ``durations`` on every
+        computation feeding them).
+
+        Returns ``(earliest, makespan, nodes_recomputed)``.  The result
+        is bit-identical to :meth:`forward_pass`: every recomputed node
+        takes the max over the same candidate set, and every candidate
+        ``ear[u] + d[c]`` is built from tail values that are either
+        recomputed earlier in the suffix or verbatim prefix copies.
+        """
+        self._ensure_incremental()
+        n = self.num_nodes
+        if from_pos <= 0:
+            ear, makespan = self.forward_pass(durations)
+            return ear, makespan, n
+        d = self._extended(durations)
+        ear = list(prev_earliest)
+        for node in self.topo[from_pos:]:
+            ear[node] = 0.0
+        for u, v, c in self._ie[self._istart[from_pos]:]:
+            cand = ear[u] + d[c]
+            if cand > ear[v]:
+                ear[v] = cand
+        return ear, ear[self.t], n - from_pos
 
     def _extract_critical_np(self, ear, lat, d, eps) -> List[int]:
         if self._np_eu is None:

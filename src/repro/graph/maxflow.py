@@ -377,3 +377,107 @@ def edmonds_karp(network: FlowNetwork, s: int, t: int) -> float:
             network.cap[idx ^ 1] += bottleneck
             v = network.to[idx ^ 1]
         total += bottleneck
+
+
+class WarmCutCache:
+    """Cross-solve min-cut reuse for the fast crawl (``exactness="fast"``).
+
+    The frontier crawl solves a long run of *nearly identical* flow
+    instances: between adjacent partial moves only the capacities of the
+    computations the previous cut touched drift (by the second-order
+    curvature of ``eta``), while the edge structure is unchanged.  A
+    min cut's value is ``sum(ub)`` over forward-crossing edges minus
+    ``sum(lb)`` over backward-crossing edges, so when capacities move
+    from ``(lb, ub)`` to ``(lb', ub')``:
+
+    * the previous cut's value changes by exactly
+      ``delta_prev = sum(dub) - sum(dlb)`` over its own crossings;
+    * *any* cut's value changes by at least
+      ``floor = sum(min(0, dub_i, -dlb_i))`` (each edge contributes one
+      of ``+ub``, ``-lb`` or nothing).
+
+    If ``delta_prev <= floor + slack`` the previous cut is still within
+    ``slack`` of minimal -- the solve (and the series-parallel
+    contraction feeding it) can be skipped and the stored side mask
+    replayed.  With ``slack = 0`` the reuse is provably optimal; the
+    fast mode spends a small relative slack (second-order in ``tau``)
+    and lets the tolerance validation police the accumulated cost.
+    Reuse is always *valid* (the mask still speeds a genuine
+    forward-crossing set), only its optimality is slack-bounded.
+
+    Any structural change -- edge list, node count, a capacity flipping
+    to/from infinity -- is an automatic miss.
+    """
+
+    __slots__ = ("_num_nodes", "_bu", "_bv", "_lb", "_ub", "_mask",
+                 "_value", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._num_nodes = -1
+        self._bu = self._bv = self._lb = self._ub = self._mask = None
+        self._value = INF
+        self.hits = 0
+        self.misses = 0
+
+    def invalidate(self) -> None:
+        self._num_nodes = -1
+        self._mask = None
+
+    def try_reuse(self, num_nodes, edge_u, edge_v, lower, upper,
+                  rel_slack: float):
+        """Previous side mask if it provably (mod ``rel_slack``) remains
+        a min cut for these capacities, else ``None``."""
+        mask = self._mask
+        if (mask is None or num_nodes != self._num_nodes
+                or edge_u != self._bu or edge_v != self._bv):
+            self.misses += 1
+            return None
+        plb, pub = self._lb, self._ub
+        delta_prev = 0.0
+        floor = 0.0
+        for i in range(len(edge_u)):
+            nu = upper[i]
+            ou = pub[i]
+            if nu == ou:
+                dub = 0.0
+            elif nu == INF or ou == INF:
+                self.misses += 1
+                return None
+            else:
+                dub = nu - ou
+            dlb = lower[i] - plb[i]
+            worst = dub if dub < 0.0 else 0.0
+            if -dlb < worst:
+                worst = -dlb
+            floor += worst
+            if mask[edge_u[i]]:
+                if not mask[edge_v[i]]:
+                    delta_prev += dub
+            elif mask[edge_v[i]]:
+                delta_prev -= dlb
+        slack = rel_slack * max(1.0, abs(self._value))
+        if delta_prev <= floor + slack:
+            self.hits += 1
+            return mask
+        self.misses += 1
+        return None
+
+    def record(self, num_nodes, edge_u, edge_v, lower, upper, mask) -> None:
+        """Remember a freshly solved instance and its cut side mask."""
+        value = 0.0
+        for i in range(len(edge_u)):
+            if mask[edge_u[i]]:
+                if not mask[edge_v[i]]:
+                    value += upper[i]
+            elif mask[edge_v[i]]:
+                value -= lower[i]
+        if value == INF:  # degenerate cut; never a safe baseline
+            self.invalidate()
+            return
+        self._num_nodes = num_nodes
+        self._bu = list(edge_u)
+        self._bv = list(edge_v)
+        self._lb = list(lower)
+        self._ub = list(upper)
+        self._mask = [bool(mask[n]) for n in range(num_nodes)]
+        self._value = value

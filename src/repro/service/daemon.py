@@ -193,6 +193,18 @@ class PlanningDaemon:
         self.metrics.describe(
             "repro_service_request_latency_seconds",
             "wall-clock request latency by method")
+        self.metrics.describe(
+            "repro_optimizer_stage_seconds",
+            "frontier-crawl stage wall-clock by stage and exactness "
+            "(observed once per fresh characterization)")
+        self.metrics.describe(
+            "repro_optimizer_fast_events_total",
+            "fast-mode kernel events (warm-cut hits/misses, "
+            "series-parallel contractions, incremental event passes)")
+        self.metrics.describe(
+            "repro_optimizer_contraction_ratio",
+            "edges remaining after series-parallel contraction, as a "
+            "fraction of the uncontracted instance (last fresh crawl)")
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -304,7 +316,40 @@ class PlanningDaemon:
             time.sleep(delay)
         stack = self.planner.result(spec)
         if spec.strategy == "perseus":
-            stack.optimizer.frontier  # force the (serialized) crawl
+            fresh = not stack.optimizer.is_characterized
+            frontier = stack.optimizer.frontier  # force the crawl
+            if fresh:  # store-seeded frontiers were observed elsewhere
+                self._observe_crawl(frontier)
+
+    def _observe_crawl(self, frontier) -> None:
+        """Export one fresh crawl's stage timings to the registry.
+
+        Stage seconds land in ``repro_optimizer_stage_seconds`` labeled
+        by stage *and* exactness so operators can compare the fast and
+        exact kernels side by side; fast-mode event counters (warm-cut
+        reuse, contraction, incremental passes) ride a separate family.
+        """
+        stats = getattr(frontier, "stats", None) or {}
+        timings = stats.get("timings") or {}
+        exactness = stats.get("exactness", "exact")
+        for stage in ("event_times", "instance_build", "maxflow",
+                      "schedule"):
+            seconds = timings.get(stage + "_s")
+            if seconds is not None:
+                self.metrics.observe(
+                    "repro_optimizer_stage_seconds", seconds,
+                    {"stage": stage, "exactness": exactness})
+        for event in ("warm_hits", "warm_misses", "contractions",
+                      "incremental_passes", "full_passes"):
+            count = timings.get(event)
+            if count:
+                self.metrics.inc("repro_optimizer_fast_events_total",
+                                 {"event": event}, count)
+        ratio = timings.get("contraction_ratio")
+        if ratio is not None:
+            self.metrics.set_gauge(
+                "repro_optimizer_contraction_ratio", ratio,
+                {"exactness": exactness})
 
     # -- RPC methods ---------------------------------------------------------
     def _rpc_ping(self, tenant: str, params: dict) -> dict:

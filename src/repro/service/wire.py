@@ -65,7 +65,9 @@ def spec_from_wire(payload: dict) -> PlanSpec:
 
     Hand-written RPC params (``repro call``) should not need the
     ``plan_spec`` envelope boilerplate; fully stamped payloads pass
-    through unchanged.
+    through unchanged.  Because the stamp is the *current* format
+    version, newer optional fields -- e.g. ``"exactness": "fast"`` --
+    work in hand-written params without any envelope ceremony.
     """
     if not isinstance(payload, dict):
         raise ConfigurationError("spec must be a JSON object")

@@ -68,14 +68,17 @@ class TestStableKey:
 class TestCacheKeyStability:
     """Satellite: equal specs must address identical store entries."""
 
-    def test_v1_and_v2_payloads_hash_identically(self):
-        payload_v2 = SMALL.to_dict()
-        assert payload_v2["version"] == 2
+    def test_old_version_payloads_hash_identically(self):
+        payload_v3 = SMALL.to_dict()
+        assert payload_v3["version"] == 3
+        payload_v2 = dict(payload_v3, version=2)
+        payload_v2.pop("exactness")  # v2 serializers never wrote it
         payload_v1 = dict(payload_v2, version=1)
         planner = Planner()
+        keys_v3 = planner.cache_keys(PlanSpec.from_dict(payload_v3))
         keys_v2 = planner.cache_keys(PlanSpec.from_dict(payload_v2))
         keys_v1 = planner.cache_keys(PlanSpec.from_dict(payload_v1))
-        assert keys_v1 == keys_v2
+        assert keys_v1 == keys_v2 == keys_v3
 
     def test_homogeneous_tuple_matches_single_name(self):
         planner = Planner()
