@@ -1,0 +1,279 @@
+"""Closed-loop drift control: hold vs closed-loop vs oracle re-plan.
+
+Runs the analytic scenario simulator
+(:func:`repro.drift.simulate_scenario`) over the fault-injection
+library -- a thermal-throttle ramp, a stale profile, a
+checkpoint/restart under throttle, and a flapping straggler -- and
+compares three control modes on one planned job:
+
+* ``hold``   -- deploy the planned schedule and never react (what the
+  reproduction did before ``repro.drift`` existed);
+* ``closed`` -- a real :class:`~repro.drift.DriftController` fed the
+  realized per-iteration measurements, re-planning through the
+  frontier with hysteresis, token-bucket rate limiting, probing and
+  the energy guardrail;
+* ``oracle`` -- re-point instantly and perfectly at every phase change
+  (zero detection latency, free re-plans: the upper bound).
+
+The headline metric is **recovered excess energy**::
+
+    recovered_pct = 100 * (E_hold - E_closed) / (E_hold - E_oracle)
+
+i.e. how much of the energy bloat that holding a stale plan leaves on
+the table the closed loop claws back.  Acceptance (enforced here and
+by the ``drift-smoke`` CI job):
+
+* thermal-ramp and stale-profile recover >= 50% of the excess;
+* zero guardrail violations anywhere (no accepted re-plan may predict
+  more energy than the held plan);
+* under flapping, total re-plans stay within the token bucket's
+  capacity (burst + rate * duration);
+* closed-loop completion time stays within ~3% of the oracle's;
+* repeated closed-loop runs are bit-deterministic.
+
+Scenario times scale with the job's planned iteration time ``t0``, so
+the same phase structure exercises any model/stride choice.  Results
+land in ``benchmarks/BENCH_drift.json`` (``--quick`` writes the
+``.quick`` variant and trims iteration counts for CI).
+
+Run directly::
+
+    python benchmarks/bench_drift.py               # full (900 iters)
+    python benchmarks/bench_drift.py --quick --ceiling-s 120  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if __name__ == "__main__":  # runnable without installing the package
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_drift.json")
+QUICK_RESULT_PATH = os.path.join(_BENCH_DIR, "BENCH_drift.quick.json")
+
+MODES = ("hold", "closed", "oracle")
+
+#: The benchmarked job: a two-stage GPT-3 XL pipeline, profiled at a
+#: 16-step frequency stride (planned iteration time ~1.6 s).
+SPEC = dict(model="gpt3-xl", stages=2, microbatches=4, freq_stride=16)
+
+#: Scenarios that must recover >= half the excess energy bloat.
+RECOVERY_FLOOR_PCT = 50.0
+RECOVERY_SCENARIOS = ("thermal-ramp", "stale-profile")
+
+#: Closed-loop completion time must stay within this factor of oracle.
+#: Flapping is exempt: there the token bucket *intentionally* keeps the
+#: stale plan through some flaps (bounded churn beats chasing every
+#: transient), so its time gap is the policy working as designed.
+TIME_RATIO_CEILING = 1.03
+TIME_RATIO_EXEMPT = ("flapping",)
+
+
+def _job_model(planner=None):
+    """Plan the benchmark job once; returns (JobPowerModel, t0)."""
+    from repro.api.planner import default_planner
+    from repro.api.spec import PlanSpec
+    from repro.fleet.power import JobPowerModel
+
+    planner = planner or default_planner()
+    spec = PlanSpec(**SPEC)
+    stack = planner.result(spec)
+    frontier = planner.frontier_for(spec)
+    blocking = tuple(stack.profile.blocking_power(s)
+                     for s in range(spec.stages))
+    model = JobPowerModel(frontier, blocking)
+    return model, model.point(0).iteration_time_s
+
+
+def _policy(t0: float):
+    """The benchmark control policy, scaled to the job's step time.
+
+    One re-plan per minute of simulated time sustained (burst 4), a
+    recovery probe every 25 calm steps with exponential backoff capped
+    at 4x, and failure backoff starting at five steps.
+    """
+    from repro.drift import DriftPolicy
+
+    return DriftPolicy(
+        replan_rate=1.0 / (60.0 * t0),
+        replan_burst=4,
+        probe_after_steps=25,
+        backoff_base_s=5.0 * t0,
+        probe_backoff_cap=4,
+    )
+
+
+def _scenarios(t0: float):
+    """The fault library, with phase times scaled by ``t0``."""
+    from repro.drift import (
+        checkpoint_restart,
+        flapping,
+        stale_profile,
+        thermal_ramp,
+    )
+
+    return [
+        thermal_ramp(peak=1.35, start_s=60 * t0, ramp_steps=3,
+                     step_s=40 * t0, hold_s=150 * t0),
+        stale_profile(degree=1.25),
+        checkpoint_restart(degree=1.2, throttle_start_s=50 * t0,
+                           restart_s=250 * t0),
+        flapping(degree=1.3, start_s=30 * t0, period_s=25 * t0, cycles=8),
+    ]
+
+
+def run(quick: bool = False) -> dict:
+    """Run every scenario x mode; returns (and writes) the document."""
+    from repro.drift import simulate_scenario
+
+    model, t0 = _job_model()
+    policy = _policy(t0)
+    iterations = 300 if quick else 900
+
+    scenarios = []
+    for scenario in _scenarios(t0):
+        rows = {}
+        for mode in MODES:
+            started = time.perf_counter()
+            report = simulate_scenario(model, scenario, mode,
+                                       iterations=iterations,
+                                       policy=policy)
+            elapsed = time.perf_counter() - started
+            rows[mode] = report
+            if mode == "closed":
+                # Determinism guard: an identical re-run must produce
+                # a bit-identical report (the controller's clock is
+                # simulated time; nothing reads wall clocks or RNGs).
+                again = simulate_scenario(model, scenario, mode,
+                                          iterations=iterations,
+                                          policy=policy)
+                if again.to_dict() != report.to_dict():
+                    raise AssertionError(
+                        f"{scenario.name}: closed-loop run is not "
+                        f"deterministic across repeats"
+                    )
+            _ = elapsed  # analytic runs are sub-second; not reported
+
+        hold_e = rows["hold"].energy_j
+        closed_e = rows["closed"].energy_j
+        oracle_e = rows["oracle"].energy_j
+        excess = hold_e - oracle_e
+        recovered = (100.0 * (hold_e - closed_e) / excess
+                     if excess > 0 else None)
+        time_ratio = rows["closed"].time_s / rows["oracle"].time_s
+        counters = rows["closed"].counters
+        row = {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "iterations": iterations,
+            "modes": {m: rows[m].to_dict() for m in MODES},
+            "excess_energy_j": round(excess, 1),
+            "recovered_pct": (round(recovered, 2)
+                              if recovered is not None else None),
+            "time_ratio_closed_vs_oracle": round(time_ratio, 4),
+            "guardrail_violations": sum(
+                rows[m].guardrail_violations for m in MODES),
+            "replans": counters.get("replans", 0),
+        }
+        scenarios.append(row)
+        rec_label = (f"{recovered:6.1f}%" if recovered is not None
+                     else "   n/a")
+        print(f"{scenario.name:<20} recovered={rec_label}  "
+              f"T closed/oracle={time_ratio:.3f}  "
+              f"replans={row['replans']}  "
+              f"violations={row['guardrail_violations']}", flush=True)
+
+    doc = {
+        "benchmark": "drift-closed-loop",
+        "mode": "quick" if quick else "full",
+        "spec": dict(SPEC),
+        "planned_iteration_time_s": round(t0, 4),
+        "policy": {
+            "replan_rate_per_s": policy.replan_rate,
+            "replan_burst": policy.replan_burst,
+            "probe_after_steps": policy.probe_after_steps,
+            "backoff_base_s": policy.backoff_base_s,
+            "probe_backoff_cap": policy.probe_backoff_cap,
+        },
+        "scenarios": scenarios,
+    }
+    _check_acceptance(doc, policy)
+    path = QUICK_RESULT_PATH if quick else RESULT_PATH
+    with open(path, "w", encoding="utf-8") as fp:
+        json.dump(doc, fp, indent=2)
+        fp.write("\n")
+    print(f"wrote {path}")
+    return doc
+
+
+def _check_acceptance(doc: dict, policy) -> None:
+    """The drift acceptance contract (see module docstring)."""
+    by_name = {row["scenario"]: row for row in doc["scenarios"]}
+
+    for name in RECOVERY_SCENARIOS:
+        row = by_name[name]
+        if row["recovered_pct"] is None or \
+                row["recovered_pct"] < RECOVERY_FLOOR_PCT:
+            raise AssertionError(
+                f"{name}: closed loop recovered {row['recovered_pct']}% "
+                f"of the excess energy bloat (< {RECOVERY_FLOOR_PCT}%)"
+            )
+
+    for row in doc["scenarios"]:
+        if row["guardrail_violations"] != 0:
+            raise AssertionError(
+                f"{row['scenario']}: {row['guardrail_violations']} "
+                f"accepted re-plan(s) predicted more energy than the "
+                f"held plan"
+            )
+        if row["scenario"] not in TIME_RATIO_EXEMPT and \
+                row["time_ratio_closed_vs_oracle"] > TIME_RATIO_CEILING:
+            raise AssertionError(
+                f"{row['scenario']}: closed-loop time ran "
+                f"{row['time_ratio_closed_vs_oracle']:.3f}x the oracle "
+                f"(> {TIME_RATIO_CEILING}x)"
+            )
+
+    flap = by_name["flapping"]
+    duration = flap["modes"]["closed"]["time_s"]
+    bucket_cap = policy.replan_burst + policy.replan_rate * duration
+    if flap["replans"] > bucket_cap:
+        raise AssertionError(
+            f"flapping: {flap['replans']} re-plans exceed the token "
+            f"bucket capacity {bucket_cap:.1f} over {duration:.0f}s"
+        )
+
+
+def test_drift_quick():
+    """Pytest harness entry: quick scenarios with a lax ceiling."""
+    started = time.perf_counter()
+    run(quick=True)
+    assert time.perf_counter() - started < 300.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--ceiling-s", type=float, default=None,
+                        help="fail if the whole benchmark exceeds this")
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    run(quick=args.quick)
+    elapsed = time.perf_counter() - started
+    print(f"total {elapsed:.1f}s")
+    if args.ceiling_s is not None and elapsed > args.ceiling_s:
+        print(f"FAIL: exceeded {args.ceiling_s}s ceiling", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

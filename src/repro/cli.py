@@ -401,6 +401,24 @@ def cmd_fleet(args) -> int:
     from .fleet import FleetSimulator, StepTrace
 
     trace = _fleet_trace(args)
+    observers = None
+    if args.drift:
+        from .drift.scenarios import ScenarioDriver, get_scenario
+
+        try:
+            overrides = json.loads(args.drift_params) \
+                if args.drift_params else {}
+        except ValueError as exc:
+            raise ReproError(
+                f"--drift-params is not valid JSON: {exc}") from exc
+        if not isinstance(overrides, dict):
+            raise ReproError("--drift-params must be a JSON object")
+        scenario = get_scenario(args.drift, **overrides)
+        # One driver per job, with the fault clock starting at that
+        # job's arrival -- every job sees the same relative timeline.
+        observers = [ScenarioDriver(job.job_id, scenario,
+                                    start_s=job.arrival_s)
+                     for job in trace.jobs]
     cap = args.cap_watts
     if args.cap_trace:
         try:
@@ -416,10 +434,11 @@ def cmd_fleet(args) -> int:
             ) from exc
     planner = Planner(cache=args.cache_dir) if args.cache_dir \
         else default_planner()
-    report = FleetSimulator(
+    sim = FleetSimulator(
         trace, policy=args.policy, cap_w=cap, carbon=args.carbon,
-        planner=planner, plan_jobs=args.jobs,
-    ).run()
+        planner=planner, plan_jobs=args.jobs, observers=observers,
+    )
+    report = sim.run()
 
     human = sys.stderr if (args.format != "table" and not args.output) \
         else sys.stdout
@@ -457,6 +476,13 @@ def cmd_fleet(args) -> int:
     # must keep the steady-state scenario strictly under its cap.
     print(f"cap        : violation {report.cap_violation_s:.2f} s, "
           f"deadline misses {report.deadline_misses}", file=human)
+    if observers is not None:
+        # The drift-smoke CI guard greps this line for a nonzero
+        # replans_total: online notifications must re-point jobs.
+        stats = sim.drift_stats
+        print(f"drift      : replans_total={stats['replans']} "
+              f"notifications={stats['notifications']} "
+              f"wakes={stats['wakes']} scenario={args.drift}", file=human)
     if report.carbon_g:
         print(f"carbon     : {report.carbon_g:.1f} gCO2", file=human)
 
@@ -738,6 +764,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--freq-stride", type=int, default=8)
     p.add_argument("--policy", default="waterfill",
                    help="registered fleet policy (see 'policies')")
+    p.add_argument("--drift", default=None, metavar="SCENARIO",
+                   help="inject a drift scenario online into every job "
+                        "(thermal-ramp, stale-profile, "
+                        "checkpoint-restart, flapping)")
+    p.add_argument("--drift-params", default=None, metavar="JSON",
+                   help="keyword overrides for the scenario factory, "
+                        "e.g. '{\"start_s\": 60, \"peak\": 1.5}'")
     p.add_argument("--cap-watts", type=float, default=None,
                    help="constant cluster power cap in watts")
     p.add_argument("--cap-trace", default=None, metavar="FILE",
@@ -796,8 +829,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="RPC method (ping, plan, register_spec, "
                         "submit_sweep, report_of, sweep_reports, "
                         "is_ready, wait_ready, frontier_of, "
-                        "current_schedule, set_straggler, jobs, stats) "
-                        "or metrics/health")
+                        "current_schedule, set_straggler, "
+                        "report_measurement, notify_restart, jobs, "
+                        "stats) or metrics/health")
     p.add_argument("--url", default="http://127.0.0.1:8421",
                    help="daemon origin, or a comma-separated replica "
                         "list (failover client)")

@@ -36,6 +36,10 @@ ARRIVAL = "arrival"
 COMPLETION = "completion"
 TRACE = "trace"  # a cap/carbon/price trace breakpoint (resample point)
 STRAGGLER = "straggler"
+#: An observer-requested wake-up: advances the loop to a chosen instant
+#: so online drivers (e.g. :class:`repro.drift.ScenarioDriver`) can
+#: inject ``set_straggler`` notifications into a *running* simulation.
+WAKE = "wake"
 
 
 @dataclass(frozen=True)
@@ -60,7 +64,7 @@ class Event:
             raise SimulationError(
                 f"event time must be non-negative, got {self.time_s}"
             )
-        if self.kind not in (ARRIVAL, COMPLETION, TRACE, STRAGGLER):
+        if self.kind not in (ARRIVAL, COMPLETION, TRACE, STRAGGLER, WAKE):
             raise SimulationError(f"unknown event kind {self.kind!r}")
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass
-from typing import IO, Dict, Optional
+from typing import IO, Dict, Optional, Sequence
 
 from ..api.planner import Planner
 from ..exceptions import ConfigurationError, SimulationError
@@ -32,6 +32,7 @@ from .events import (
     COMPLETION,
     STRAGGLER,
     TRACE,
+    WAKE,
     Event,
     EventQueue,
 )
@@ -218,6 +219,11 @@ class FleetSimulator:
             frontiers like every other entry point).
         plan_jobs: Worker-pool size for the up-front planning sweep
             (``None``/1 = serial; results are bit-identical either way).
+        observers: Callables invoked as ``observer(sim, now)`` after
+            every event batch.  An observer with an ``attach(sim)``
+            method is attached at run start; observers may call
+            :meth:`set_straggler` / :meth:`schedule_wake` to drive the
+            *running* simulation (drift scenario injection).
     """
 
     def __init__(
@@ -229,6 +235,7 @@ class FleetSimulator:
         price: TraceLike = None,
         planner: Optional[Planner] = None,
         plan_jobs: Optional[int] = None,
+        observers: Optional[Sequence] = None,
     ) -> None:
         self.trace = trace
         self.policy: FleetPolicy = (
@@ -243,6 +250,81 @@ class FleetSimulator:
         self.price_trace = as_trace(price, "price")
         self._planner = planner
         self._plan_jobs = plan_jobs
+        self.observers = tuple(observers or ())
+        #: Online-notification counters (the CLI's ``--drift`` line):
+        #: every ``set_straggler`` is a notification; the ones that
+        #: re-pointed a *running* job count as replans.
+        self.drift_stats: Dict[str, int] = {
+            "notifications": 0, "replans": 0, "wakes": 0,
+        }
+        # Loop state, promoted to attributes so observers can reach a
+        # *running* simulation through the public methods below.
+        self._queue: Optional[EventQueue] = None
+        self._plans: Optional[Dict] = None
+        self._running: Dict[str, _ActiveJob] = {}
+        self._records: Dict[str, JobRecord] = {}
+        self._pending_stragglers: Dict[str, float] = {}
+        self._now = 0.0
+        self._dirty = False
+
+    # -- online drift surface ------------------------------------------------
+    @property
+    def now_s(self) -> float:
+        """Current simulated time (valid while :meth:`run` executes)."""
+        return self._now
+
+    def schedule_wake(self, at_s: float) -> None:
+        """Ask the event loop to advance to ``at_s`` (observers only).
+
+        Without a wake the loop would jump straight between organic
+        events and an observer's boundary in the gap would be applied
+        late.  Wakes never travel into the past.
+        """
+        if self._queue is None:
+            raise SimulationError(
+                "schedule_wake needs a running simulation"
+            )
+        self._queue.push(Event(time_s=max(at_s, self._now), kind=WAKE))
+
+    def set_straggler(self, job_id: str, degree: float) -> None:
+        """Table 2 notification delivered to the *running* simulation.
+
+        Exactly the semantics of a trace-baked
+        :class:`~repro.fleet.jobs.StragglerEvent` at the current
+        instant: a running job's floor moves (and the fleet re-points
+        at this timestamp); a not-yet-arrived job's floor is held and
+        applied on admission; a completed job's notification is a
+        no-op.  ``degree`` 1.0 clears the floor.
+        """
+        if degree < 1.0:
+            raise SimulationError("straggler degree must be >= 1.0")
+        if self._plans is None:
+            raise SimulationError(
+                "set_straggler needs a running simulation"
+            )
+        self.trace.job(job_id)  # raises for unknown ids
+        self.drift_stats["notifications"] += 1
+        if self._apply_straggler(job_id, degree):
+            self.drift_stats["replans"] += 1
+            self._dirty = True
+
+    def _apply_straggler(self, job_id: str, degree: float) -> bool:
+        """Move one job's floor; True if a *running* job was touched."""
+        plan = self._plans[self.trace.job(job_id).plan_spec]
+        floor = (None if degree <= 1.0
+                 else degree * plan.model.t_min)
+        state = self._running.get(job_id)
+        if state is not None:
+            state.floor_time_s = floor
+            return True
+        if job_id not in self._records:
+            # Straggler fired before arrival: apply on admit
+            # (a degree-1.0 notification clears any pending).
+            if floor is None:
+                self._pending_stragglers.pop(job_id, None)
+            else:
+                self._pending_stragglers[job_id] = floor
+        return False
 
     # -- accounting ----------------------------------------------------------
     def _accrue(self, running: Dict[str, _ActiveJob], t0: float,
@@ -311,9 +393,10 @@ class FleetSimulator:
 
     # -- the event loop ------------------------------------------------------
     def run(self) -> FleetReport:
-        plans = plan_trace(self.trace, planner=self._planner,
-                           jobs=self._plan_jobs)
+        self._plans = plan_trace(self.trace, planner=self._planner,
+                                 jobs=self._plan_jobs)
         queue = EventQueue()
+        self._queue = queue
         for job in self.trace.jobs:
             queue.push(Event(time_s=job.arrival_s, kind=ARRIVAL,
                              job_id=job.job_id))
@@ -325,20 +408,25 @@ class FleetSimulator:
                 for bp in trace.breakpoints_after(0.0):
                     queue.push(Event(time_s=bp, kind=TRACE))
 
-        running: Dict[str, _ActiveJob] = {}
-        records: Dict[str, JobRecord] = {}
-        pending_stragglers: Dict[str, float] = {}
-        now = 0.0
+        running = self._running = {}
+        records = self._records = {}
+        self._pending_stragglers = {}
+        self._now = 0.0
+        self._dirty = False
         violation_s = 0.0
         fleet_energy = 0.0
+        for observer in self.observers:
+            attach = getattr(observer, "attach", None)
+            if attach is not None:
+                attach(self)
 
         while queue:
             batch = queue.pop_batch()
             when = batch[0].time_s
-            accrued = self._accrue(running, now, when)
+            accrued = self._accrue(running, self._now, when)
             violation_s += accrued["violation_s"]
             fleet_energy += accrued["energy_j"]
-            now = when
+            self._now = now = when
 
             dirty = False
             for event in batch:
@@ -346,30 +434,18 @@ class FleetSimulator:
                     job = self.trace.job(event.job_id)
                     state = _ActiveJob(
                         job=job,
-                        plan=plans[job.plan_spec],
+                        plan=self._plans[job.plan_spec],
                         start_s=now,
                         remaining_iterations=float(job.iterations),
                     )
-                    floor = pending_stragglers.pop(job.job_id, None)
+                    floor = self._pending_stragglers.pop(job.job_id, None)
                     if floor is not None:
                         state.floor_time_s = floor
                     running[job.job_id] = state
                     dirty = True
                 elif event.kind == STRAGGLER:
-                    state = running.get(event.job_id)
-                    plan = plans[self.trace.job(event.job_id).plan_spec]
-                    floor = (None if event.degree <= 1.0
-                             else event.degree * plan.model.t_min)
-                    if state is not None:
-                        state.floor_time_s = floor
+                    if self._apply_straggler(event.job_id, event.degree):
                         dirty = True
-                    elif event.job_id not in records:
-                        # Straggler fired before arrival: apply on admit
-                        # (a degree-1.0 notification clears any pending).
-                        if floor is None:
-                            pending_stragglers.pop(event.job_id, None)
-                        else:
-                            pending_stragglers[event.job_id] = floor
                 elif event.kind == COMPLETION:
                     state = running.get(event.job_id)
                     if state is None or state.epoch != event.epoch:
@@ -389,9 +465,18 @@ class FleetSimulator:
                     dirty = True
                 elif event.kind == TRACE:
                     dirty = True
-            if dirty:
+                elif event.kind == WAKE:
+                    self.drift_stats["wakes"] += 1
+            # Observers see the post-batch state at this instant; a
+            # set_straggler they issue lands in the same reallocation
+            # a trace-baked event at this timestamp would have joined.
+            for observer in self.observers:
+                observer(self, now)
+            if dirty or self._dirty:
                 self._reallocate(running, now, queue)
+                self._dirty = False
 
+        self._queue = None
         if running:
             raise SimulationError(
                 f"event queue drained with {sorted(running)} still running"

@@ -12,7 +12,8 @@ client-side profiler that drives a running training engine lives in
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -186,3 +187,127 @@ def estimated_profiling_overhead_s(
                     slowest = max(slowest, m.time_s)
         total += iterations_per_freq * slowest * 2  # fwd+bwd across microbatches
     return total
+
+
+# -- realized-step summaries (drift reporting) --------------------------------
+
+@dataclass(frozen=True)
+class StepSummary:
+    """Windowed mean of realized training steps, ready to report.
+
+    This is the unit the drift loop moves: an engine (or any external
+    runtime) averages its last ``k`` optimized steps and ships the
+    result through ``report_measurement``.  ``stage_time_s`` is the
+    per-stage breakdown when the runtime can attribute time to stages
+    -- it lets the server re-profile *only* the drifted stages.
+    """
+
+    steps: int
+    time_s: float
+    energy_j: Optional[float] = None
+    stage_time_s: Optional[Tuple[float, ...]] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "steps": self.steps,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "stage_time_s": (
+                list(self.stage_time_s)
+                if self.stage_time_s is not None else None
+            ),
+        }
+
+
+def summarize_steps(
+    times: Sequence[float],
+    energies: Optional[Sequence[float]] = None,
+    stage_times: Optional[Sequence[Sequence[float]]] = None,
+    last_k: Optional[int] = None,
+) -> StepSummary:
+    """Mean the last ``k`` realized steps into one :class:`StepSummary`.
+
+    ``times`` are per-iteration wall times; ``energies`` (optional,
+    same length) per-iteration energies; ``stage_times`` (optional)
+    per-iteration per-stage time rows.  ``last_k=None`` averages the
+    whole window.
+    """
+    times = list(times)
+    if not times:
+        raise ProfilingError("summarize_steps needs at least one step")
+    if energies is not None and len(energies) != len(times):
+        raise ProfilingError("energies must align with times")
+    if stage_times is not None and len(stage_times) != len(times):
+        raise ProfilingError("stage_times must align with times")
+    if last_k is not None:
+        if last_k < 1:
+            raise ProfilingError("last_k must be >= 1")
+        times = times[-last_k:]
+        if energies is not None:
+            energies = list(energies)[-last_k:]
+        if stage_times is not None:
+            stage_times = list(stage_times)[-last_k:]
+    n = len(times)
+    energy = None
+    if energies is not None:
+        energy = float(sum(energies)) / n
+    stages: Optional[Tuple[float, ...]] = None
+    if stage_times is not None:
+        widths = {len(row) for row in stage_times}
+        if len(widths) != 1:
+            raise ProfilingError("stage_times rows must have equal width")
+        width = widths.pop()
+        stages = tuple(
+            float(sum(row[s] for row in stage_times)) / n
+            for s in range(width)
+        )
+    return StepSummary(
+        steps=n,
+        time_s=float(sum(times)) / n,
+        energy_j=energy,
+        stage_time_s=stages,
+    )
+
+
+def rescale_stage_profile(
+    profile: PipelineProfile,
+    factors: Mapping[int, Tuple[float, float]],
+) -> PipelineProfile:
+    """Re-profile *only* the drifted stages, analytically.
+
+    ``factors`` maps stage index to ``(time_factor, energy_factor)``
+    multipliers observed in vivo.  Every measurement of every op on a
+    listed stage is rescaled; untouched stages keep their original
+    sweeps, so the result is exactly the "re-profile only the drifted
+    stages" artifact the drift controller re-plans from.  Blocking
+    powers and ``fixed`` markers are preserved.
+    """
+    for stage, (tf, ef) in factors.items():
+        if tf <= 0 or ef <= 0:
+            raise ProfilingError(
+                f"stage {stage} rescale factors must be positive, got "
+                f"({tf!r}, {ef!r})"
+            )
+    out = PipelineProfile(
+        p_blocking_w=profile.p_blocking_w,
+        stage_blocking_w=(
+            dict(profile.stage_blocking_w)
+            if profile.stage_blocking_w is not None else None
+        ),
+    )
+    for op, op_profile in profile.ops.items():
+        stage = op[0]
+        if stage in factors:
+            tf, ef = factors[stage]
+            scaled = OpProfile(op=op, fixed=op_profile.fixed)
+            for m in op_profile.measurements:
+                scaled.add(Measurement(
+                    freq_mhz=m.freq_mhz,
+                    time_s=m.time_s * tf,
+                    energy_j=m.energy_j * ef,
+                ))
+            out.ops[op] = scaled
+        else:
+            out.ops[op] = op_profile
+    out.validate()
+    return out

@@ -69,6 +69,17 @@ class AsyncFrequencyController:
             return self.plan[nxt]
         return None
 
+    def reset_plan(self, now: float) -> None:
+        """Drop the deployed plan (checkpoint/restart came back cold).
+
+        The device returns to its default maximum clock -- exactly the
+        state a restarted runtime boots into -- until the next
+        :meth:`load_plan` deploy re-points it.
+        """
+        self.plan = []
+        self._cursor = 0
+        self.device.reset_sm_clock(now)
+
     def current_planned(self) -> Tuple[int, int]:
         """(cursor, planned clock at cursor) for introspection."""
         if not self.plan:

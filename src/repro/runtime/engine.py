@@ -233,9 +233,33 @@ class TrainingSession:
     tau: float = DEFAULT_TAU
     history: List[IterationStats] = field(default_factory=list)
     _submitted: bool = field(default=False, repr=False)
+    _drift: bool = field(default=False, repr=False)
+    _drift_last_k: int = field(default=1, repr=False)
+    _drift_times: List[float] = field(default_factory=list, repr=False)
+    _drift_energies: List[float] = field(default_factory=list, repr=False)
+    last_drift_action: Optional[dict] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.server.register_job(self.job_id, self.engine.dag, tau=self.tau)
+
+    def enable_drift(self, policy=None, last_k: int = 1) -> None:
+        """Close the loop: report every optimized step to the server.
+
+        Realized (time, energy) from each ``optimized``-phase iteration
+        is summarized (:func:`~repro.profiler.online.summarize_steps`
+        over the last ``last_k`` steps) and fed to
+        :meth:`~repro.runtime.server.PerseusServer.report_measurement`;
+        when the server's drift controller accepts a re-plan, the new
+        schedule is redeployed to this engine's clients immediately.
+        The controller runs on the engine's *simulated* clock, so the
+        whole loop is deterministic.
+        """
+        if last_k < 1:
+            raise SimulationError("drift summary window must be >= 1")
+        self.server.enable_drift(
+            self.job_id, policy=policy, clock=lambda: self.engine.clock)
+        self._drift = True
+        self._drift_last_k = last_k
 
     def step(self, blocking_characterization: bool = True) -> IterationStats:
         """Run one iteration, advancing the Perseus lifecycle as needed."""
@@ -261,8 +285,45 @@ class TrainingSession:
                 start_clock=stats.start_clock,
                 end_clock=stats.end_clock,
             )
+        if self._drift and stats.phase == "optimized":
+            self._report_drift(stats)
         self.history.append(stats)
         return stats
+
+    def _report_drift(self, stats: IterationStats) -> None:
+        from ..profiler.online import summarize_steps
+
+        self._drift_times.append(stats.iteration_time)
+        self._drift_energies.append(stats.energy_j)
+        summary = summarize_steps(
+            self._drift_times, self._drift_energies,
+            last_k=self._drift_last_k,
+        )
+        del self._drift_times[:-self._drift_last_k]
+        del self._drift_energies[:-self._drift_last_k]
+        self.last_drift_action = self.server.report_measurement(
+            self.job_id, summary.time_s, energy_j=summary.energy_j)
+        if self.last_drift_action.get("replanned"):
+            self._deploy_current()
+
+    def restart(self) -> Optional[dict]:
+        """Simulate a checkpoint/restart of the training runtime.
+
+        Clients come back cold -- plans dropped, clocks at the default
+        maximum -- and the server is notified.  With drift enabled the
+        controller re-adopts its held decision and the schedule is
+        redeployed; without it the default-clock plan simply gets
+        re-pushed on the next :meth:`step`.
+        """
+        now = self.engine.clock
+        for client in self.engine.clients:
+            client.controller.reset_plan(now)
+        self._drift_times.clear()
+        self._drift_energies.clear()
+        action = self.server.notify_restart(self.job_id)
+        if self._submitted and self.server.is_ready(self.job_id):
+            self._deploy_current()
+        return action
 
     def notify_straggler(self, accelerator_id: int, delay_s: float, degree: float) -> None:
         """Table 2 ``set_straggler``: infrastructure -> server -> clients."""

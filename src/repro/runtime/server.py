@@ -51,6 +51,8 @@ from ..core.frontier import DEFAULT_TAU, Frontier, characterize_frontier
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.planner import Planner, PlanReport
     from ..api.spec import PlanSpec
+    from ..drift.controller import DriftController, DriftPolicy
+    from ..drift.detector import DriftSignal
 from ..core.schedule import EnergySchedule
 from ..core.unified import energy_optimal_iteration_time
 from ..exceptions import ServerError
@@ -88,6 +90,19 @@ class _Job:
     #: instantly (a later re-characterization serves the old frontier
     #: until the new one lands, exactly as queries always have).
     settled: threading.Event = field(default_factory=threading.Event)
+    #: Closed-loop drift state (``enable_drift``): the controller, the
+    #: iteration-time floor its last accepted re-plan imposed, and the
+    #: most recent per-stage busy times reported alongside measurements
+    #: (used to localize which stages to re-profile).
+    drift: Optional["DriftController"] = None
+    drift_floor_s: Optional[float] = None
+    drift_stage_times: Optional[List[float]] = None
+    #: Serializes the drift loop itself.  Separate from ``lock``:
+    #: a re-plan accepted inside ``observe`` walks back into
+    #: ``_push_schedule``/``current_schedule``, which take ``lock`` --
+    #: the order is always ``drift_lock`` then ``lock``, never the
+    #: reverse.
+    drift_lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 class PerseusServer:
@@ -431,13 +446,22 @@ class PerseusServer:
             return job.frontier
 
     def current_schedule(self, job_id: str) -> EnergySchedule:
-        """The schedule for the current straggler state (instant lookup)."""
+        """The schedule for the current straggler + drift state.
+
+        ``T'`` is the larger of the announced straggler floor (Table 2)
+        and the drift controller's observed floor -- both describe the
+        same physical fact (the pipeline cannot iterate faster than
+        some ``T'``), so Eq. 2 takes their max.
+        """
         job = self._job(job_id)
         frontier = self.frontier_of(job_id)
         with job.lock:
             t_prime = None
             if job.straggler is not None and job.straggler.degree > 1.0:
                 t_prime = job.straggler.degree * frontier.t_min
+            if job.drift_floor_s is not None and (
+                    t_prime is None or job.drift_floor_s > t_prime):
+                t_prime = job.drift_floor_s
         t_opt = energy_optimal_iteration_time(frontier, t_prime)
         return frontier.schedule_for(t_opt)
 
@@ -456,10 +480,287 @@ class PerseusServer:
         if delay_s < 0:
             raise ServerError("delay must be non-negative")
         job = self._job(job_id)
+        controller = job.drift
+        if controller is not None:
+            # An *announced* floor supersedes the observed one: the
+            # infrastructure just told us the real constraint, so the
+            # drift floor (an inference) is retired and the controller
+            # rebases onto the announced deploy below.
+            with job.drift_lock:
+                with job.lock:
+                    job.straggler = StragglerState(
+                        accelerator_id, delay_s, degree)
+                    job.drift_floor_s = None
+                if job.frontier is not None:
+                    self._push_schedule(job)
+                    frontier = job.frontier
+                    schedule = self.current_schedule(job_id)
+                    expected = schedule.iteration_time
+                    if degree > 1.0:
+                        expected = max(expected, degree * frontier.t_min)
+                    controller.notify_external_replan(expected)
+            return
         with job.lock:
             job.straggler = StragglerState(accelerator_id, delay_s, degree)
         if job.frontier is not None:
             self._push_schedule(job)
+
+    # -- closed-loop drift (repro.drift) -----------------------------------------
+    def enable_drift(
+        self,
+        job_id: str,
+        policy: Optional["DriftPolicy"] = None,
+        clock: Optional[Callable[[], float]] = None,
+        energy_reference: str = "auto",
+    ) -> "DriftController":
+        """Attach a :class:`~repro.drift.DriftController` to a ready job.
+
+        Idempotent: a job already watching keeps its controller (and
+        its accumulated state) regardless of the arguments.  The
+        controller's ``replan`` callable re-points through this
+        server's own planning stack -- frontier lookup, warm
+        store-backed re-characterization for re-profiles, and the
+        existing ``_push_schedule`` deploy path -- so an adopted
+        re-plan reaches clients exactly like the original schedule
+        did.
+        """
+        from ..drift.controller import DriftController
+
+        job = self._job(job_id)
+        with job.drift_lock:
+            if job.drift is not None:
+                return job.drift
+            frontier = self.frontier_of(job_id)  # raises until ready
+            schedule = self.current_schedule(job_id)
+            planned = schedule.iteration_time
+            with job.lock:
+                if job.straggler is not None and job.straggler.degree > 1.0:
+                    planned = max(
+                        planned, job.straggler.degree * frontier.t_min)
+            kwargs = {} if clock is None else {"clock": clock}
+            job.drift = DriftController(
+                replan=lambda target, reason, signal, _job=job:
+                    self._drift_replan(_job, target, reason, signal),
+                planned_time_s=planned,
+                policy=policy,
+                energy_reference=energy_reference,
+                **kwargs,
+            )
+            return job.drift
+
+    def report_measurement(
+        self,
+        job_id: str,
+        time_s: float,
+        energy_j: Optional[float] = None,
+        stage_time_s: Optional[List[float]] = None,
+    ) -> dict:
+        """Feed one realized-step summary into the job's drift loop.
+
+        The closed-loop entry point (the RPC surface the daemon
+        exposes): the runtime ships its windowed
+        :class:`~repro.profiler.online.StepSummary` numbers here and
+        gets back what the controller decided.  Drift watching is
+        lazily enabled on first report; reports arriving before the
+        frontier settles are held (``held='not_ready'``), not errors
+        -- training is allowed to start reporting immediately.
+        """
+        job = self._job(job_id)
+        if job.drift is None:
+            if not self.is_ready(job_id):
+                return {"state": "pending", "detected": False,
+                        "replanned": False, "reason": None,
+                        "held": "not_ready", "target_time_s": None}
+            self.enable_drift(job_id)
+        controller = job.drift
+        with job.drift_lock:
+            if stage_time_s is not None:
+                with job.lock:
+                    job.drift_stage_times = [float(t) for t in stage_time_s]
+            action = controller.observe(time_s, energy_j)
+        return action.to_dict()
+
+    def notify_restart(self, job_id: str) -> Optional[dict]:
+        """A checkpoint/restart rebooted the job onto its default plan.
+
+        With drift enabled the controller re-adopts its held decision
+        (guardrail/bucket-exempt; see
+        :meth:`~repro.drift.DriftController.notify_restart`); without
+        it the server simply re-pushes the current schedule.
+        """
+        job = self._job(job_id)
+        controller = job.drift
+        if controller is None:
+            if job.frontier is not None:
+                self._push_schedule(job)
+            return None
+        with job.drift_lock:
+            return controller.notify_restart().to_dict()
+
+    def drift_stats(self) -> Dict[str, dict]:
+        """Per-job drift counters (metrics surface): job id -> stats."""
+        with self._registry_lock:
+            jobs = list(self._jobs.values())
+        out: Dict[str, dict] = {}
+        for job in jobs:
+            controller = job.drift
+            if controller is None:
+                continue
+            row = {"state": controller.state}
+            row.update(controller.stats)
+            out[job.job_id] = row
+        return out
+
+    def _drift_replan(
+        self,
+        job: _Job,
+        target_time_s: Optional[float],
+        reason: str,
+        signal: Optional["DriftSignal"],
+    ):
+        """Build a re-plan proposal for the drift controller.
+
+        Time drift re-points along the *existing* frontier: the
+        observed slowdown becomes an Eq. 2 floor ``T'`` and the
+        cheapest schedule at that floor is proposed.  Energy drift
+        means the profile itself is mispriced, so it takes the
+        re-profile path instead.  Both predictions are Eq. 3 energies
+        at the observed floor, so the controller's guardrail compares
+        like with like.
+        """
+        from ..drift.controller import ReplanProposal
+        from ..drift.detector import ENERGY_DRIFT
+
+        frontier = job.frontier
+        if frontier is None:
+            return None  # decline; nothing to re-plan from yet
+        if signal is not None and signal.kind == ENERGY_DRIFT:
+            return self._drift_reprofile(job, signal)
+        with job.lock:
+            straggler_floor = None
+            if job.straggler is not None and job.straggler.degree > 1.0:
+                straggler_floor = job.straggler.degree * frontier.t_min
+            held_floor = job.drift_floor_s
+        target = target_time_s
+        if straggler_floor is not None:
+            target = max(target or 0.0, straggler_floor)
+        if held_floor is not None and straggler_floor is not None:
+            held_floor = max(held_floor, straggler_floor)
+        elif held_floor is None:
+            held_floor = straggler_floor
+        cand = frontier.schedule_for(
+            energy_optimal_iteration_time(frontier, target))
+        held = frontier.schedule_for(
+            energy_optimal_iteration_time(frontier, held_floor))
+        blocking_w = self._total_blocking_w(job)
+        planned = max(cand.iteration_time, target or 0.0)
+
+        def apply(job=job, target=target):
+            with job.lock:
+                job.drift_floor_s = target
+            self._push_schedule(job)
+
+        return ReplanProposal(
+            planned_time_s=planned,
+            predicted_energy_j=self._eq3_energy(cand, blocking_w, target),
+            held_predicted_energy_j=self._eq3_energy(
+                held, blocking_w, target),
+            apply=apply,
+            detail={"reason": reason, "floor_s": target},
+        )
+
+    def _drift_reprofile(self, job: _Job, signal: "DriftSignal"):
+        """Re-profile the drifted stages; re-characterize; propose.
+
+        Only stages whose reported busy time departs from the deployed
+        schedule's planned stage time are rescaled (falling back to a
+        uniform rescale when no per-stage breakdown localizes the
+        drift).  The new frontier is characterized through the shared
+        planner's backend -- content-addressed on the rescaled profile
+        -- so a warm :class:`~repro.core.store.PlanStore` makes the
+        re-plan nearly free, and a repeat of the same drift hits the
+        cache outright.
+        """
+        from ..core.store import MISS
+        from ..drift.controller import ReplanProposal, planned_stage_times
+        from ..profiler.online import rescale_stage_profile
+
+        profile = job.profile
+        frontier = job.frontier
+        if profile is None or frontier is None:
+            return None
+        controller = job.drift
+        band_exit = controller.policy.band.exit if controller else 0.03
+        deployed = self.current_schedule(job.job_id)
+        with job.lock:
+            observed = job.drift_stage_times
+        factors = {}
+        if observed is not None and len(observed) == job.dag.num_stages:
+            planned_busy = planned_stage_times(job.dag, deployed)
+            for stage in range(job.dag.num_stages):
+                busy = planned_busy.get(stage, 0.0)
+                if busy <= 0:
+                    continue
+                tf = observed[stage] / busy
+                if abs(tf - 1.0) > band_exit:
+                    factors[stage] = (tf, signal.energy_factor)
+        if not factors:
+            # Unlocalizable: treat the whole pipeline as drifted.
+            factors = {
+                stage: (signal.time_factor, signal.energy_factor)
+                for stage in range(job.dag.num_stages)
+            }
+        new_profile = rescale_stage_profile(profile, factors)
+        shadow = _Job(job_id=job.job_id, dag=job.dag, tau=job.tau,
+                      profile=new_profile)
+        planner = self._shared_planner()
+        key = self._raw_frontier_key(shadow)
+        new_frontier = planner.cache.get("frontier", key)
+        if new_frontier is MISS:
+            new_frontier = characterize_frontier(
+                job.dag, new_profile, tau=job.tau)
+            planner._record_frontier(key, new_frontier)
+        cand = new_frontier.schedule_for(
+            energy_optimal_iteration_time(new_frontier, None))
+        blocking_w = self._total_blocking_w(job)
+        # Both sides priced under the *observed* (drifted) conditions:
+        # the held plan's compute energy realizes scaled by the drift
+        # the new profile bakes in.
+        held_energy = (deployed.effective_energy * signal.energy_factor
+                       + blocking_w * max(deployed.iteration_time,
+                                          cand.iteration_time))
+        predicted = self._eq3_energy(cand, blocking_w, None)
+
+        def apply(job=job, new_profile=new_profile,
+                  new_frontier=new_frontier):
+            with job.lock:
+                job.profile = new_profile
+                job.frontier = new_frontier
+                job.drift_floor_s = None
+            self._push_schedule(job)
+
+        return ReplanProposal(
+            planned_time_s=cand.iteration_time,
+            predicted_energy_j=predicted,
+            held_predicted_energy_j=held_energy,
+            apply=apply,
+            detail={"new_baseline": True, "stages": sorted(factors)},
+        )
+
+    def _total_blocking_w(self, job: _Job) -> float:
+        profile = job.profile
+        if profile is None:
+            return 0.0
+        return sum(profile.blocking_power(stage)
+                   for stage in range(job.dag.num_stages))
+
+    @staticmethod
+    def _eq3_energy(schedule: EnergySchedule, blocking_w: float,
+                    floor_s: Optional[float]) -> float:
+        time_s = schedule.iteration_time
+        if floor_s is not None and floor_s > time_s:
+            time_s = floor_s
+        return schedule.effective_energy + blocking_w * time_s
 
     # -- internals ---------------------------------------------------------------
     def _push_schedule(self, job: _Job) -> None:

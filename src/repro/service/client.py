@@ -31,6 +31,7 @@ from __future__ import annotations
 import http.client
 import itertools
 import json
+import random
 import threading
 import time
 from typing import Dict, Iterable, List, Optional
@@ -169,6 +170,57 @@ class ServiceClient:
             raise ServiceError(f"malformed response envelope: {body!r}")
         return body["result"]
 
+    def call_with_retry(self, method: str, params: Optional[dict] = None,
+                        max_attempts: int = 4,
+                        deadline_s: float = 30.0,
+                        base_backoff_s: float = 0.1,
+                        max_backoff_s: float = 5.0,
+                        rng: Optional[random.Random] = None,
+                        sleep=time.sleep,
+                        clock=time.monotonic):
+        """``call`` with bounded retry on :class:`ServiceUnavailable`.
+
+        Only transport-level failures retry -- typed domain errors
+        (bad spec, unknown job, quota) re-raise immediately because a
+        retry cannot fix them.  One request ``id`` spans all attempts,
+        so a call that landed before the connection dropped is replayed
+        from the daemon's response cache instead of re-executed.
+
+        Backoff is *decorrelated jitter* (AWS-style): each sleep is
+        uniform in ``[base, 3 * previous]``, capped at
+        ``max_backoff_s`` -- and never below the server's
+        ``retry_after_s`` hint when one rode along on the error.  The
+        loop gives up after ``max_attempts`` tries or once the next
+        sleep would cross the overall ``deadline_s``, re-raising the
+        last ``ServiceUnavailable`` either way.
+        """
+        if max_attempts < 1:
+            raise ServiceError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        rng = rng if rng is not None else random.Random()
+        request_id = _fresh_id()
+        started = clock()
+        previous = base_backoff_s
+        last_exc: Optional[ServiceUnavailable] = None
+        for attempt in range(max_attempts):
+            try:
+                return self.call(method, params, request_id=request_id)
+            except ServiceUnavailable as exc:
+                last_exc = exc
+            if attempt + 1 >= max_attempts:
+                break
+            delay = min(max_backoff_s,
+                        rng.uniform(base_backoff_s, previous * 3.0))
+            hint = getattr(last_exc, "retry_after_s", None)
+            if hint is not None:
+                delay = max(delay, float(hint))
+            previous = delay
+            if clock() - started + delay > deadline_s:
+                break
+            sleep(delay)
+        assert last_exc is not None
+        raise last_exc
+
     # -- PerseusServer mirror ------------------------------------------------
     def ping(self) -> dict:
         """Liveness + daemon version (also confirms the tenant name)."""
@@ -225,6 +277,26 @@ class ServiceClient:
             "delay_s": delay_s,
             "degree": degree,
         })
+
+    def report_measurement(self, job_id: str, time_s: float,
+                           energy_j: Optional[float] = None,
+                           stage_time_s: Optional[List[float]] = None) -> dict:
+        """Feed one realized step summary to the job's drift controller.
+
+        Returns the controller's action dict (``state``, ``replanned``,
+        ...); see :meth:`repro.runtime.server.PerseusServer.
+        report_measurement`.
+        """
+        params: dict = {"job_id": job_id, "time_s": time_s}
+        if energy_j is not None:
+            params["energy_j"] = energy_j
+        if stage_time_s is not None:
+            params["stage_time_s"] = list(stage_time_s)
+        return self.call("report_measurement", params)["action"]
+
+    def notify_restart(self, job_id: str) -> Optional[dict]:
+        """Tell the drift controller the job restarted from checkpoint."""
+        return self.call("notify_restart", {"job_id": job_id})["action"]
 
     def jobs(self) -> List[str]:
         """This tenant's registered job ids."""

@@ -205,6 +205,18 @@ class PlanningDaemon:
             "repro_optimizer_contraction_ratio",
             "edges remaining after series-parallel contraction, as a "
             "fraction of the uncontracted instance (last fresh crawl)")
+        self.metrics.describe(
+            "repro_drift_reports_total",
+            "report_measurement calls by resulting controller state")
+        self.metrics.describe(
+            "repro_drift_replans_total",
+            "drift re-plans accepted through report_measurement, by "
+            "reason (drift=corrective, probe=recovery probe, "
+            "readopt=post-restart re-adoption)")
+        self.metrics.describe(
+            "repro_service_store_watch_polls_total",
+            "StoreFlight follower watch polls (one flights/ directory "
+            "digest per interval, replacing per-claim stats)")
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -443,6 +455,30 @@ class PlanningDaemon:
         )
         return {"ok": True}
 
+    def _rpc_report_measurement(self, tenant: str, params: dict) -> dict:
+        """The closed drift loop's wire entry: realized step -> action."""
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        energy = params.get("energy_j")
+        stages = params.get("stage_time_s")
+        action = self.server.report_measurement(
+            job_id,
+            time_s=float(self._require(params, "time_s")),
+            energy_j=float(energy) if energy is not None else None,
+            stage_time_s=([float(t) for t in stages]
+                          if stages is not None else None),
+        )
+        self.metrics.inc("repro_drift_reports_total",
+                         {"state": str(action.get("state"))})
+        if action.get("replanned"):
+            self.metrics.inc("repro_drift_replans_total",
+                             {"reason": str(action.get("reason"))})
+        return {"action": action}
+
+    def _rpc_notify_restart(self, tenant: str, params: dict) -> dict:
+        job_id = self._qualify(tenant, self._require(params, "job_id"))
+        action = self.server.notify_restart(job_id)
+        return {"action": action}
+
     def _rpc_jobs(self, tenant: str, params: dict) -> dict:
         mine = f"{tenant}{TENANT_SEP}"
         return {"jobs": [self._bare(tenant, job_id)
@@ -474,6 +510,11 @@ class PlanningDaemon:
                              if self._store_flight is not None else None),
             "queue_depth": self.admission.inflight,
             "jobs": len(self.server.job_ids()),
+            "drift": {
+                self._bare(tenant, job_id): row
+                for job_id, row in self.server.drift_stats().items()
+                if job_id.startswith(f"{tenant}{TENANT_SEP}")
+            },
             "service": self.metrics.snapshot(),
         }
 
@@ -496,6 +537,8 @@ class PlanningDaemon:
             "frontier_of": self._rpc_frontier_of,
             "current_schedule": self._rpc_current_schedule,
             "set_straggler": self._rpc_set_straggler,
+            "report_measurement": self._rpc_report_measurement,
+            "notify_restart": self._rpc_notify_restart,
             "jobs": self._rpc_jobs,
             "stats": self._rpc_stats,
         }
@@ -609,6 +652,26 @@ class PlanningDaemon:
             extra.append("# TYPE repro_service_cache_hit_ratio gauge")
             extra.append(f"repro_service_cache_hit_ratio "
                          f"{counters.get('hits', 0) / lookups:.6f}")
+        drift = self.server.drift_stats()
+        if drift:
+            extra.append("# TYPE repro_drift_loop_total counter")
+            for job_id, row in sorted(drift.items()):
+                for event, count in sorted(row.items()):
+                    if event == "state":
+                        continue
+                    extra.append(
+                        f'repro_drift_loop_total{{job="{job_id}",'
+                        f'event="{event}"}} {count}')
+            extra.append("# TYPE repro_drift_state gauge")
+            for job_id, row in sorted(drift.items()):
+                extra.append(
+                    f'repro_drift_state{{job="{job_id}",'
+                    f'state="{row["state"]}"}} 1')
+        if self._store_flight is not None:
+            polls = self._store_flight.stats.get("watch_polls", 0)
+            extra.append(
+                "# TYPE repro_service_store_watch_polls_total counter")
+            extra.append(f"repro_service_store_watch_polls_total {polls}")
         return self.metrics.render(extra_lines=extra)
 
     def health(self) -> dict:

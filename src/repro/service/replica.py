@@ -12,9 +12,11 @@ variable exists.  This module supplies the three pieces:
   creating ``<root>/flights/<key>.claim`` (``O_CREAT | O_EXCL``: the
   filesystem picks exactly one winner), heartbeats the claim's mtime
   while it works, and publishes a ``.done`` marker when the artifacts
-  are persisted.  Followers poll the marker instead of recomputing; a
-  claim whose mtime goes stale (crashed leader) is seized via an
-  atomic rename, so exactly one waiter takes over.
+  are persisted.  Followers watch a single ``flights/`` directory
+  digest (mtime + entry list) per poll interval instead of stat-ing
+  each claim, re-checking markers only when the digest moves; a claim
+  whose mtime goes stale (crashed leader) is seized via an atomic
+  rename, so exactly one waiter takes over.
 * :class:`ReplicaClient` -- a drop-in :class:`ServiceClient` over a
   *list* of daemons: sticky tenant routing by stable hash, rotation to
   the next replica on :class:`~repro.exceptions.ServiceUnavailable`
@@ -180,7 +182,7 @@ class StoreFlight:
         self._stats_lock = threading.Lock()
         self.stats: Dict[str, int] = {
             "leaders": 0, "takeovers": 0, "followers": 0, "warm": 0,
-            "seized_leases": 0,
+            "seized_leases": 0, "watch_polls": 0,
         }
 
     # -- paths ---------------------------------------------------------------
@@ -219,6 +221,25 @@ class StoreFlight:
 
     def is_done(self, key: str) -> bool:
         return os.path.exists(self._done_path(key))
+
+    def _watch_digest(self):
+        """Cheap change token for the whole ``flights/`` directory.
+
+        Every protocol transition a follower cares about -- done marker
+        published (rename *into* the dir), claim dropped (unlink),
+        lease seized (rename to a tombstone) -- creates, removes or
+        renames an entry, which bumps the directory's ``st_mtime_ns``
+        and changes its name list.  Heartbeats only touch a *file's*
+        mtime, so a digest poll costs one ``stat`` + one ``listdir``
+        per interval instead of per-claim ``stat`` calls, and stays
+        quiet while a healthy leader works.
+        """
+        try:
+            stat = os.stat(self.flights_dir)
+            names = sorted(os.listdir(self.flights_dir))
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, tuple(names))
 
     # -- protocol steps ------------------------------------------------------
     def _try_claim(self, key: str) -> bool:
@@ -319,23 +340,39 @@ class StoreFlight:
                 self._bump(role)
                 return value, role
 
-            # Another process holds the lease: wait for its marker,
-            # watching the claim's heartbeat for a crashed leader.
+            # Another process holds the lease: watch the flights dir's
+            # digest for protocol transitions (publish / drop / seize
+            # all change the entry list), falling back to a coarse
+            # timed claim-mtime check for the one transition that
+            # leaves the directory untouched -- a crashed leader whose
+            # heartbeat simply stops.
             waited = True
+            digest = object()  # unlike any digest: first poll "changed"
+            stale_interval_s = min(self.heartbeat_interval_s,
+                                   self.lease_timeout_s / 4.0)
+            next_stale_check = time.monotonic()
             while True:
-                if os.path.exists(done):
-                    value = fn()
-                    self._bump(FOLLOWER)
-                    return value, FOLLOWER
-                try:
-                    mtime = os.stat(self._claim_path(key)).st_mtime
-                except OSError:
-                    break  # claim vanished: re-check done, then re-claim
-                if self._clock() - mtime > self.lease_timeout_s:
-                    if self._try_seize(key):
-                        seized = True
-                        break  # we retired the stale lease: claim next
-                    continue  # lost the seize race: re-evaluate at once
+                with self._stats_lock:
+                    self.stats["watch_polls"] += 1
+                current = self._watch_digest()
+                changed = current != digest
+                digest = current
+                now = time.monotonic()
+                if changed or now >= next_stale_check:
+                    next_stale_check = now + stale_interval_s
+                    if os.path.exists(done):
+                        value = fn()
+                        self._bump(FOLLOWER)
+                        return value, FOLLOWER
+                    try:
+                        mtime = os.stat(self._claim_path(key)).st_mtime
+                    except OSError:
+                        break  # claim vanished: re-check done, re-claim
+                    if self._clock() - mtime > self.lease_timeout_s:
+                        if self._try_seize(key):
+                            seized = True
+                            break  # we retired the stale lease: claim
+                        continue  # lost the seize race: re-evaluate
                 if time.monotonic() > deadline:
                     raise ServiceError(
                         f"store flight {key!r} still held by "
@@ -371,6 +408,13 @@ class ReplicaClient(ServiceClient):
     logical call share one idempotency id, so a request that landed
     before its daemon died is replayed, never re-executed, when the
     retry happens to reach the same daemon.
+
+    The inherited :meth:`ServiceClient.call_with_retry` composes with
+    this loop: each *retry attempt* runs the full failover rotation,
+    sleeps by decorrelated jitter (floored at the fleet's
+    ``retry_after_s`` hint) and reuses one idempotency id end to end
+    -- use it when a whole-fleet restart must be ridden out rather
+    than surfaced.
 
     A replica that fails is **ejected** for ``cooldown_s``; after the
     cooldown it must pass a short-timeout ``/healthz`` probe to be

@@ -6,6 +6,7 @@ from .injection import (
     SlowGPUType,
     ThermalThrottle,
     anticipated_t_prime,
+    stepped_ramp,
 )
 
 __all__ = [
@@ -14,4 +15,5 @@ __all__ = [
     "SlowGPUType",
     "ThermalThrottle",
     "anticipated_t_prime",
+    "stepped_ramp",
 ]

@@ -164,3 +164,28 @@ def anticipated_t_prime(degree: float, t_min: float) -> float:
     if degree < 1.0:
         raise SimulationError("slowdown degree must be >= 1.0")
     return degree * t_min
+
+
+def stepped_ramp(
+    peak: float, steps: int, power_scale: float = 1.0
+) -> Tuple[ThermalThrottle, ...]:
+    """A thermal event as ``steps`` equal throttle increments up to ``peak``.
+
+    Real power/thermal capping tightens gradually as the part heats, not
+    as one step function; this is the shared shape behind the drift
+    scenario library's thermal-ramp phases
+    (:func:`repro.drift.scenarios.thermal_ramp`) and engine-level
+    injection (each increment's ``slowdown`` feeds
+    ``TrainingEngine.set_stage_slowdown``).
+    """
+    if steps < 1:
+        raise SimulationError("a ramp needs at least one step")
+    if peak < 1.0:
+        raise SimulationError("ramp peak must be >= 1.0")
+    return tuple(
+        ThermalThrottle(
+            slowdown=1.0 + (peak - 1.0) * i / steps,
+            power_scale=power_scale,
+        )
+        for i in range(1, steps + 1)
+    )

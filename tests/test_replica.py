@@ -464,3 +464,155 @@ class TestMultiProcessSingleFlight:
         assert ('repro_service_store_flights_total{outcome="takeover"} 1'
                 in text)
         assert reports_equal(report, Planner().plan(tiny_spec()))
+
+
+class TestStoreWatch:
+    """Followers watch the flights/ directory digest, not a timer grid.
+
+    A directory's mtime bumps on every entry create/rename/unlink --
+    the claim landing, the done-marker publishing, a tombstone sweep
+    -- while heartbeat writes only touch an existing file's *content*
+    mtime.  The follower loop polls the cheap digest every tick
+    (counted in ``stats["watch_polls"]``) but only pays the full
+    done-marker + stale-claim check when the digest moved or the
+    stale-check interval expired.
+    """
+
+    def test_follower_counts_watch_polls(self, tmp_path):
+        leader = StoreFlight(tmp_path, owner="leader",
+                             lease_timeout_s=5.0, poll_interval_s=0.01)
+        follower = StoreFlight(tmp_path, owner="follower",
+                               lease_timeout_s=5.0, poll_interval_s=0.01)
+        release = threading.Event()
+        results = []
+
+        def slow():
+            release.wait(10.0)
+            return "value"
+
+        lead = threading.Thread(
+            target=lambda: results.append(leader.do("k", slow)))
+        lead.start()
+        deadline = time.monotonic() + 5.0
+        while leader.claim_of("k") is None:  # wait for the claim
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+
+        follow = threading.Thread(
+            target=lambda: results.append(follower.do("k", lambda: "value")))
+        follow.start()
+        time.sleep(0.15)  # let the follower spin on the digest a while
+        release.set()
+        lead.join(10.0)
+        follow.join(10.0)
+        assert sorted(role for _, role in results) == [FOLLOWER, LEADER]
+        assert follower.stats["watch_polls"] > 0
+        assert leader.stats["watch_polls"] == 0  # leaders never wait
+
+    def test_takeover_path_counts_polls_too(self, tmp_path):
+        make_stale_claim(str(tmp_path), "k", age_s=3600.0)
+        flight = StoreFlight(tmp_path, lease_timeout_s=5.0,
+                             poll_interval_s=0.01)
+        value, role = flight.do("k", lambda: "v")
+        assert role == TAKEOVER
+        assert flight.stats["watch_polls"] >= 1
+
+
+class _ScriptedTransport(ServiceClient):
+    """A ServiceClient whose transport is a scripted list of outcomes."""
+
+    def __init__(self, outcomes):
+        super().__init__("http://127.0.0.1:1", timeout_s=1.0)
+        self.outcomes = list(outcomes)
+        self.seen = []  # (method, request_id) per attempt
+
+    def call(self, method, params=None, request_id=None):
+        self.seen.append((method, request_id))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestCallWithRetry:
+    def test_retries_transport_errors_with_one_request_id(self):
+        client = _ScriptedTransport([
+            ServiceUnavailable("down", retry_after_s=0.5),
+            ServiceUnavailable("still down"),
+            {"ok": True},
+        ])
+        sleeps = []
+        result = client.call_with_retry("ping", sleep=sleeps.append)
+        assert result == {"ok": True}
+        assert len(client.seen) == 3
+        ids = {request_id for _, request_id in client.seen}
+        assert len(ids) == 1 and None not in ids  # one idempotency id
+        # The first sleep honours the server's retry_after_s floor.
+        assert len(sleeps) == 2
+        assert sleeps[0] >= 0.5
+
+    def test_domain_errors_never_retry(self):
+        client = _ScriptedTransport([ServiceError("bad spec")])
+        with pytest.raises(ServiceError, match="bad spec"):
+            client.call_with_retry("plan", sleep=lambda s: pytest.fail(
+                "slept on a non-retryable error"))
+        assert len(client.seen) == 1
+
+    def test_gives_up_after_max_attempts(self):
+        client = _ScriptedTransport(
+            [ServiceUnavailable(f"down {i}") for i in range(5)])
+        with pytest.raises(ServiceUnavailable, match="down 2"):
+            client.call_with_retry("ping", max_attempts=3,
+                                   sleep=lambda s: None)
+        assert len(client.seen) == 3
+
+    def test_deadline_stops_before_the_next_sleep(self):
+        client = _ScriptedTransport(
+            [ServiceUnavailable("down", retry_after_s=10.0)] * 4)
+        fake_now = [0.0]
+
+        def clock():
+            return fake_now[0]
+
+        def sleep(s):
+            fake_now[0] += s
+
+        with pytest.raises(ServiceUnavailable):
+            client.call_with_retry("ping", deadline_s=5.0, sleep=sleep,
+                                   clock=clock)
+        # The 10s hint would cross the 5s deadline: exactly one attempt.
+        assert len(client.seen) == 1
+
+    def test_backoff_is_jittered_and_capped(self):
+        client = _ScriptedTransport(
+            [ServiceUnavailable("down")] * 4)
+        sleeps = []
+        rng = __import__("random").Random(7)
+        with pytest.raises(ServiceUnavailable):
+            client.call_with_retry("ping", max_attempts=4,
+                                   base_backoff_s=0.1, max_backoff_s=0.25,
+                                   rng=rng, sleep=sleeps.append)
+        assert len(sleeps) == 3
+        assert all(0.1 <= s <= 0.25 for s in sleeps)
+
+    def test_rejects_zero_attempts(self):
+        client = _ScriptedTransport([])
+        with pytest.raises(ServiceError, match="max_attempts"):
+            client.call_with_retry("ping", max_attempts=0)
+
+    def test_composes_with_replica_failover(self):
+        """Each retry attempt runs the subclass's full rotation."""
+        rotations = []
+
+        class Fleet(ReplicaClient):
+            def call(self, method, params=None, request_id=None):
+                rotations.append(request_id)
+                if len(rotations) < 2:
+                    raise ServiceUnavailable("whole fleet restarting")
+                return {"ok": True}
+
+        fleet = Fleet(["http://127.0.0.1:1", "http://127.0.0.1:2"])
+        result = fleet.call_with_retry("ping", sleep=lambda s: None)
+        assert result == {"ok": True}
+        assert len(rotations) == 2
+        assert len(set(rotations)) == 1  # one idempotency id end to end

@@ -17,6 +17,7 @@ import pytest
 from repro.api import PlanSpec, Planner, mixed_cluster_specs
 from repro.core.serialization import frontier_to_dict, profile_to_dict
 from repro.core.store import (
+    FSYNC_ENV,
     MISS,
     MemoryCache,
     PlanStore,
@@ -599,3 +600,81 @@ class TestCacheGcCli:
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         assert main(["cache", "gc", "--max-bytes", "1M"]) == 2
         assert "cache gc needs a store" in capsys.readouterr().err
+
+
+class TestCrashDurability:
+    """``_atomic_write`` fsync discipline and torn-write recovery.
+
+    A crash between ``os.replace`` reaching disk and the payload data
+    doing so leaves a zero-length (or truncated) file under the final
+    name.  The store must treat any such payload exactly like the
+    garbage-bytes case above: a recorded miss that heals on rewrite,
+    never a crash at read time.
+    """
+
+    def test_truncated_payload_is_a_miss_and_heals(self, tmp_path):
+        root = tmp_path / "store"
+        Planner(cache=root).plan(SMALL)
+        for name in os.listdir(root / "frontier"):
+            (root / "frontier" / name).write_text("", "utf-8")
+        recovered = Planner(cache=root)
+        recovered.plan(SMALL)
+        assert recovered.stats["frontier"] == 1  # recomputed, no crash
+        healed = Planner(cache=root)  # the recompute rewrote the file
+        healed.plan(SMALL)
+        assert healed.stats["frontier"] == 0
+
+    def test_half_written_payload_is_a_miss(self, tmp_path):
+        root = tmp_path / "store"
+        Planner(cache=root).plan(SMALL)
+        for name in os.listdir(root / "frontier"):
+            path = root / "frontier" / name
+            text = path.read_text("utf-8")
+            path.write_text(text[: len(text) // 2], "utf-8")
+        recovered = Planner(cache=root)
+        recovered.plan(SMALL)
+        assert recovered.stats["frontier"] == 1
+
+    def test_fsyncs_file_and_directory_by_default(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.delenv(FSYNC_ENV, raising=False)
+        store = PlanStore(tmp_path / "store")  # init writes its format file
+        real_fsync = os.fsync
+        fds = []
+
+        def counting(fd):
+            fds.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting)
+        path = tmp_path / "store" / "frontier" / "x.json"
+        store._atomic_write(str(path), "{}")
+        assert len(fds) == 2  # the temp file, then the parent dir
+        assert path.read_text("utf-8") == "{}"
+
+    def test_fsync_env_opts_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FSYNC_ENV, "0")
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: pytest.fail("fsync despite opt-out"))
+        store = PlanStore(tmp_path / "store")
+        path = tmp_path / "store" / "frontier" / "x.json"
+        store._atomic_write(str(path), "{}")
+        assert path.read_text("utf-8") == "{}"
+
+    def test_interrupted_write_keeps_old_value_and_no_temp(self, tmp_path,
+                                                           monkeypatch):
+        store = PlanStore(tmp_path / "store")
+        path = tmp_path / "store" / "frontier" / "x.json"
+        store._atomic_write(str(path), '{"old": true}')
+
+        def torn(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", torn)
+        with pytest.raises(OSError, match="simulated crash"):
+            store._atomic_write(str(path), '{"new": true}')
+        monkeypatch.undo()
+        assert json.loads(path.read_text("utf-8")) == {"old": True}
+        leftovers = [n for n in os.listdir(path.parent)
+                     if n.endswith(".tmp")]
+        assert leftovers == []
