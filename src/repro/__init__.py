@@ -47,7 +47,7 @@ import warnings
 from typing import Optional
 
 from . import api, baselines, core, emulation, experiments, fleet, gpu
-from . import models
+from . import models, obs
 from . import partition as partitioning
 from . import pipeline, profiler, runtime, service, sim, stragglers, viz
 from .api import (

@@ -36,6 +36,7 @@ import itertools
 import math
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -44,6 +45,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.frontier import Frontier
 from ..core.optimizer import PerseusOptimizer
 from ..core.store import MISS, CacheBackend, PlanStore, as_backend, stable_key
+from ..obs.provenance import ProvenanceBuilder, provenance_path
+from ..obs.trace import current_trace_id, set_trace_id, wrap_context
+from ..obs.trace import span as obs_span
 from ..exceptions import ConfigurationError, ReproError
 from ..gpu.specs import GPULike, GPUSpec, get_gpu, is_homogeneous, resolve_gpus
 from ..models.layers import ModelSpec
@@ -181,6 +185,14 @@ class PlanReport:
     timings: Optional[dict] = field(
         default=None, repr=False, hash=False, compare=False
     )
+    #: Where this plan actually came from
+    #: (:class:`repro.obs.provenance.ProvenanceBuilder` record: cache
+    #: source + wall time per stage, content digests, kernel, trace id,
+    #: store paths).  Diagnostics only, like ``timings`` -- excluded
+    #: from :meth:`to_dict`, comparisons and the service wire format.
+    provenance: Optional[dict] = field(
+        default=None, repr=False, hash=False, compare=False
+    )
 
     @classmethod
     def failure(cls, spec: PlanSpec, error: BaseException) -> "PlanReport":
@@ -258,6 +270,15 @@ class Planner:
         #: Guards the synced set + frontier stat (characterization hooks
         #: may fire from a server worker thread).
         self._sync_lock = threading.Lock()
+        #: The in-flight plan's provenance builder, one per thread
+        #: (:meth:`plan` installs it; ``_memo`` reports to it).
+        self._prov = threading.local()
+        #: (namespace, key) -> hex digest memo: content hashing is not
+        #: free, and provenance asks for the same digests every plan.
+        self._digests: Dict[tuple, str] = {}
+        #: Optimizer key -> where its frontier first came from in this
+        #: process ("built" / "disk" / "memory"), for provenance.
+        self._frontier_origin: Dict[tuple, str] = {}
         self.stats: Dict[str, int] = {
             "model": 0, "partition": 0, "profile": 0, "stage_profile": 0,
             "dag": 0, "tau": 0, "optimizer": 0, "frontier": 0,
@@ -292,14 +313,43 @@ class Planner:
 
         ``stat`` names the miss counter to bump when the build actually
         runs (a *disk* hit therefore bumps nothing: no work was done).
+        When a provenance builder is installed (one per in-flight
+        :meth:`plan`), each stage additionally reports where it resolved
+        from (built / memory / disk) and, for builds, how long it took.
         """
-        value = self._cache.get(namespace, key)
+        builder = getattr(self._prov, "builder", None)
+        if builder is None:
+            value = self._cache.get(namespace, key)
+            if value is MISS:
+                if stat is not None:
+                    self.stats[stat] += 1
+                value = build()
+                self._cache.put(namespace, key, value)
+            return value
+        value, source = self._cache.get_with_source(namespace, key)
+        seconds = None
         if value is MISS:
             if stat is not None:
                 self.stats[stat] += 1
+            started = time.perf_counter()
             value = build()
+            seconds = time.perf_counter() - started
             self._cache.put(namespace, key, value)
+            source = "built"
+        builder.note(namespace, source, seconds,
+                     digest=self._digest(namespace, key))
         return value
+
+    def _digest(self, namespace: str, key) -> Optional[str]:
+        """Memoized content digest for provenance (cheap namespaces only)."""
+        if namespace in ("baseline",):
+            return None
+        memo_key = (namespace, key)
+        digest = self._digests.get(memo_key)
+        if digest is None:
+            digest = stable_key(key)
+            self._digests[memo_key] = digest
+        return digest
 
     def _build_model(
         self, name: str, microbatch_size: Optional[int]
@@ -473,9 +523,10 @@ class Planner:
         def build() -> PerseusOptimizer:
             # A persisted frontier seeds the optimizer pre-characterized:
             # the expensive crawl never reruns in a warm process.
-            frontier = self._cache.get("frontier", key)
+            frontier, source = self._cache.get_with_source("frontier", key)
             if frontier is not MISS:
                 self._frontier_synced.add(key)
+                self._frontier_origin[key] = source
                 return PerseusOptimizer(
                     dag=dag,
                     profile=profile,
@@ -503,6 +554,7 @@ class Planner:
             if key in self._frontier_synced:
                 return
             self._frontier_synced.add(key)
+            self._frontier_origin[key] = "built"
             self.stats["frontier"] += 1
         self._cache.put("frontier", key, frontier)
 
@@ -647,20 +699,37 @@ class Planner:
         ``[T_min, T*]``; frontier-free baselines ignore it).
         """
         strategy = get_strategy(spec.strategy)
-        stack = self.result(spec)
-        ctx = self.context(spec, straggler_time)
-        frequencies = strategy.plan(ctx)
-        execution = execute_frequency_plan(
-            stack.dag, frequencies, stack.profile
-        )
-        baseline = self.baseline_execution(spec)
-        # Surface the crawl instrumentation when the strategy forced (or
-        # a store seeded) a frontier; frontier-free baselines stay None.
-        optimizer = stack.optimizer
-        timings = (
-            dict(optimizer.frontier.stats.get("timings") or {})
-            if optimizer.is_characterized else None
-        ) or None
+        # One provenance builder per in-flight plan on this thread;
+        # nested/previous builders are restored on the way out so a
+        # plan-inside-a-plan (warmers, drift re-plans) stays correct.
+        previous = getattr(self._prov, "builder", None)
+        builder = ProvenanceBuilder(spec)
+        self._prov.builder = builder
+        try:
+            with obs_span("planner.plan", model=spec.model,
+                          strategy=spec.strategy, exactness=spec.exactness):
+                stack = self.result(spec)
+                optimizer = stack.optimizer
+                pre_characterized = optimizer.is_characterized
+                ctx = self.context(spec, straggler_time)
+                frequencies = strategy.plan(ctx)
+                with obs_span("planner.simulate"):
+                    execution = execute_frequency_plan(
+                        stack.dag, frequencies, stack.profile
+                    )
+                    baseline = self.baseline_execution(spec)
+                # Surface the crawl instrumentation when the strategy
+                # forced (or a store seeded) a frontier; frontier-free
+                # baselines stay None.
+                timings = (
+                    dict(optimizer.frontier.stats.get("timings") or {})
+                    if optimizer.is_characterized else None
+                ) or None
+                provenance = self._finish_provenance(
+                    builder, spec, stack, pre_characterized, timings
+                )
+        finally:
+            self._prov.builder = previous
         return PlanReport(
             spec=spec,
             strategy=spec.strategy,
@@ -671,7 +740,68 @@ class Planner:
             plan=dict(frequencies),
             execution=execution,
             timings=timings,
+            provenance=provenance,
         )
+
+    def _finish_provenance(
+        self,
+        builder: ProvenanceBuilder,
+        spec: PlanSpec,
+        stack: PlanResult,
+        pre_characterized: bool,
+        timings: Optional[dict],
+    ) -> dict:
+        """Seal one plan's provenance record (and persist it store-side).
+
+        The frontier stage is resolved here rather than in ``_memo``
+        because its lifecycle is different: it may be crawled lazily by
+        the strategy ("built"), adopted from the store before the
+        optimizer ran ("disk"), or simply already characterized from an
+        earlier plan in this process ("memory").  Frontier-free
+        baselines record no frontier stage at all.
+        """
+        optimizer = stack.optimizer
+        opt_key = stack.keys["optimizer"]
+        store = self._cache if isinstance(self._cache, PlanStore) else None
+        frontier_digest = None
+        if optimizer.is_characterized:
+            origin = self._frontier_origin.get(opt_key)
+            if not pre_characterized:
+                source = "built"
+                seconds = optimizer.frontier.optimizer_runtime_s
+            elif origin == "disk":
+                source, seconds = "disk", None
+            else:
+                source, seconds = "memory", None
+            frontier_digest = self._digest("frontier", opt_key)
+            builder.note("frontier", source, seconds,
+                         digest=frontier_digest)
+            if store is not None:
+                builder.note_path(
+                    "frontier", store.path_for("frontier", opt_key))
+        if store is not None:
+            for namespace in ("partition", "profile"):
+                builder.note_path(
+                    namespace, store.path_for(namespace,
+                                              stack.keys[namespace]))
+        record = builder.finish(
+            strategy=spec.strategy,
+            exactness=spec.exactness,
+            kernel=(timings or {}).get("kernel"),
+            trace_id=current_trace_id(),
+            store_root=store.root if store is not None else None,
+        )
+        if store is not None and frontier_digest is not None:
+            # First writer wins: the persisted record describes how the
+            # stored frontier was produced, not the latest warm read.
+            path = provenance_path(store.root, frontier_digest)
+            if not os.path.exists(path):
+                try:
+                    record["provenance_path"] = store.put_provenance(
+                        frontier_digest, record)
+                except OSError:
+                    pass
+        return record
 
     def _plan_row(self, spec: PlanSpec, errors: str) -> PlanReport:
         """One sweep row with per-spec error isolation.
@@ -716,9 +846,11 @@ class Planner:
                 f"errors must be 'report' or 'raise', got {errors!r}"
             )
         spec_list = list(specs)
-        if jobs is None or jobs <= 1 or len(spec_list) <= 1:
-            return [self._plan_row(spec, errors) for spec in spec_list]
-        return self._sweep_parallel(spec_list, jobs, errors)
+        with obs_span("planner.sweep", specs=len(spec_list),
+                      jobs=jobs or 1):
+            if jobs is None or jobs <= 1 or len(spec_list) <= 1:
+                return [self._plan_row(spec, errors) for spec in spec_list]
+            return self._sweep_parallel(spec_list, jobs, errors)
 
     @staticmethod
     def _stack_signature(spec: PlanSpec) -> tuple:
@@ -773,7 +905,9 @@ class Planner:
 
         results: List[Optional[PlanReport]] = [None] * len(specs)
         with ThreadPoolExecutor(max_workers=len(workers)) as pool:
-            futures = [pool.submit(run, worker, chunk)
+            # wrap_context: spans opened inside a worker thread stay
+            # children of the caller's trace instead of orphan roots.
+            futures = [pool.submit(wrap_context(run), worker, chunk)
                        for worker, chunk in zip(workers, chunks)]
             for chunk, future in zip(chunks, futures):
                 for index, report in zip(chunk, future.result()):
@@ -820,8 +954,11 @@ class Planner:
         ]
         try:
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                # contextvars cannot cross processes: the trace id rides
+                # as an explicit argument instead.
                 futures = [
-                    pool.submit(_sweep_store_worker, store.root, payloads)
+                    pool.submit(_sweep_store_worker, store.root, payloads,
+                                current_trace_id())
                     for payloads in payload_chunks
                 ]
                 for future in futures:
@@ -840,7 +977,7 @@ class Planner:
 
 
 def _sweep_store_worker(
-    root: str, spec_payloads: List[dict]
+    root: str, spec_payloads: List[dict], trace_id: Optional[str] = None
 ) -> Tuple[Dict[str, int], Dict[str, int]]:
     """One sweep worker process: warm the shared store with its chunk.
 
@@ -849,6 +986,8 @@ def _sweep_store_worker(
     errors are swallowed -- the parent's adoption pass re-plans every
     spec and reports them with full ``errors`` semantics.
     """
+    if trace_id is not None:
+        set_trace_id(trace_id)
     # An explicit uncapped store: a capped one (REPRO_CACHE_MAX_BYTES is
     # inherited by worker processes) would run LRU eviction concurrently
     # with its siblings' writes -- the race worker_view() forbids.  Only

@@ -34,6 +34,9 @@ Commands:
 * ``call``      -- one RPC against a running daemon: ``repro call
   ping``, ``repro call plan --params '{"spec": {...}}'``; the special
   method names ``metrics`` and ``health`` fetch the GET endpoints.
+* ``trace view`` -- ASCII summary of a saved Chrome trace-event JSON
+  (from ``plan --trace`` or ``fleet --trace-out``); the same files load
+  in Perfetto (https://ui.perfetto.dev).
 * ``cache gc`` -- prune a persistent plan store to a size cap
   (least-recently-used entries first, recency = file mtime refreshed on
   every disk hit).  ``repro cache gc --max-bytes 200M``.
@@ -165,6 +168,11 @@ def _print_timings(timings: Optional[dict]) -> None:
 def cmd_plan(args) -> int:
     spec = _spec_of(args)
     planner = default_planner()
+    recorder = None
+    if args.trace:
+        from .obs.trace import enable_tracing
+
+        recorder = enable_tracing()
     stack = planner.result(spec)
     report = planner.plan(spec)
     print(f"model      : {stack.model.name} "
@@ -200,6 +208,16 @@ def cmd_plan(args) -> int:
         with open(args.output, "w", encoding="utf-8") as fp:
             save_json(stack.frontier, fp)
         print(f"frontier saved to {args.output}")
+    if recorder is not None:
+        from .obs.export import save_chrome_trace
+        from .obs.trace import disable_tracing
+
+        spans = recorder.spans
+        disable_tracing()
+        save_chrome_trace(args.trace, spans)
+        trace_id = (report.provenance or {}).get("trace_id")
+        print(f"trace saved to {args.trace} ({len(spans)} spans"
+              + (f", trace id {trace_id}" if trace_id else "") + ")")
     return 0
 
 
@@ -437,6 +455,7 @@ def cmd_fleet(args) -> int:
     sim = FleetSimulator(
         trace, policy=args.policy, cap_w=cap, carbon=args.carbon,
         planner=planner, plan_jobs=args.jobs, observers=observers,
+        record_timeline=bool(args.trace_out),
     )
     report = sim.run()
 
@@ -485,6 +504,16 @@ def cmd_fleet(args) -> int:
               f"wakes={stats['wakes']} scenario={args.drift}", file=human)
     if report.carbon_g:
         print(f"carbon     : {report.carbon_g:.1f} gCO2", file=human)
+
+    if args.trace_out:
+        from .obs.export import fleet_timeline_to_chrome
+
+        document = fleet_timeline_to_chrome(sim.timeline)
+        with open(args.trace_out, "w", encoding="utf-8") as fp:
+            json.dump(document, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+        print(f"timeline saved to {args.trace_out} "
+              f"({len(sim.timeline)} entries)", file=human)
 
     if args.output or args.format != "table":
         fmt = "csv" if args.format == "table" else args.format
@@ -599,12 +628,15 @@ def cmd_serve(args) -> int:
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
         lease_timeout_s=args.lease_timeout_s,
+        log_jsonl=args.log_jsonl,
     )
     quota = (f"{args.quota_rate:g}/s burst {args.quota_burst:g}"
              if args.quota_rate else "off")
     print(f"serving    : {daemon.url}  (POST /rpc, GET /metrics, "
           f"GET /healthz)")
     print(f"admission  : max-inflight={args.max_inflight} quota={quota}")
+    if args.log_jsonl:
+        print(f"event log  : {os.path.abspath(args.log_jsonl)} (JSONL)")
     if args.cache_dir:
         print(f"store      : {os.path.abspath(args.cache_dir)}")
     sys.stdout.flush()
@@ -645,6 +677,23 @@ def cmd_call(args) -> int:
     result = client.call(args.method, params, request_id=args.id)
     json.dump(result, sys.stdout, indent=2)
     sys.stdout.write("\n")
+    # Stderr so `repro call ... | jq` stays clean; the obs-smoke CI
+    # guard greps this id on both sides of the round-trip.
+    if getattr(client, "last_trace_id", None):
+        print(f"trace      : {client.last_trace_id}", file=sys.stderr)
+    return 0
+
+
+def cmd_trace_view(args) -> int:
+    from .obs.export import format_trace, load_chrome_trace
+
+    try:
+        document = load_chrome_trace(args.file)
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {args.file}: {exc}") from exc
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    print(format_trace(document, width=args.width))
     return 0
 
 
@@ -685,6 +734,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timings", action="store_true",
                    help="print the frontier crawl's timing breakdown "
                         "(event passes, instance builds, max-flow)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record the plan as spans and save a Chrome "
+                        "trace-event JSON (open in Perfetto, or "
+                        "'repro trace view FILE')")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("compare",
@@ -788,6 +841,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "to csv)")
     p.add_argument("--output", "-o", default=None,
                    help="write the fleet report to this file")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record the run's event timeline (arrivals, "
+                        "re-plans, cap changes, drift wakes) and save "
+                        "it as Chrome trace-event JSON (--trace is the "
+                        "fleet *input* trace)")
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -818,6 +876,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="store-flight lease: a leader whose heartbeat "
                         "stalls this long is presumed crashed and its "
                         "work is taken over")
+    p.add_argument("--log-jsonl", default=None, metavar="FILE",
+                   help="append every structured event (plans, cache "
+                        "flights, drift, admission, RPCs -- with trace "
+                        "ids) to this JSONL file")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -845,6 +907,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout-s", type=float, default=600.0,
                    help="socket timeout per request")
     p.set_defaults(func=cmd_call)
+
+    p = sub.add_parser("trace", help="inspect saved Chrome trace files")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    t = trace_sub.add_parser(
+        "view",
+        help="ASCII summary of a Chrome trace-event JSON file "
+             "(from 'plan --trace' or 'fleet --trace-out')",
+    )
+    t.add_argument("file", help="Chrome trace-event JSON file")
+    t.add_argument("--width", type=int, default=72)
+    t.set_defaults(func=cmd_trace_view)
 
     p = sub.add_parser("cache", help="plan-store maintenance")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)

@@ -31,6 +31,8 @@ from typing import Dict, List, Optional
 
 from ..exceptions import OptimizationError
 from ..graph.edgecentric import to_edge_centric
+from ..obs.trace import add_stage_spans
+from ..obs.trace import span as obs_span
 from ..graph.maxflow import FlowArena
 from ..pipeline.dag import ComputationDag
 from ..profiler.measurement import OpKey, PipelineProfile
@@ -157,21 +159,28 @@ def characterize_frontier(
         )
         max_steps = int(span / tau * 4) + 64
 
-    if slow_path_enabled():
-        points, steps, timings = _crawl_dict(
-            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
-            tau, max_steps,
-        )
-    elif exactness == "fast":
-        points, steps, timings = _crawl_fast(
-            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
-            tau, max_steps,
-        )
-    else:
-        points, steps, timings = _crawl_flat(
-            dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
-            tau, max_steps,
-        )
+    # One span for the whole crawl; the timings aggregates the crawl
+    # already keeps become synthetic child spans (add_stage_spans), so
+    # tracing adds zero instrumentation to the inner loops and exact
+    # frontiers stay bit-identical with tracing enabled.
+    with obs_span("optimize.crawl", exactness=exactness,
+                  num_computations=dag.num_computations, tau=tau):
+        if slow_path_enabled():
+            points, steps, timings = _crawl_dict(
+                dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+                tau, max_steps,
+            )
+        elif exactness == "fast":
+            points, steps, timings = _crawl_fast(
+                dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+                tau, max_steps,
+            )
+        else:
+            points, steps, timings = _crawl_flat(
+                dag, ecd, node_cost, cost_models, t_min_schedule, slowest,
+                tau, max_steps,
+            )
+        add_stage_spans(timings)
 
     # Guarantee a T_min endpoint exists: if the crawl stalled more than one
     # tau short of T_min, fall back to the all-fastest schedule for the gap.

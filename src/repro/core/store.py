@@ -186,6 +186,16 @@ class CacheBackend:
     def get(self, namespace: str, key) -> Any:
         raise NotImplementedError
 
+    def get_with_source(self, namespace: str, key):
+        """``(value, source)`` where source is provenance-grade.
+
+        ``source`` is ``"miss"``, ``"memory"`` or (for persistent
+        backends) ``"disk"`` -- the fact :mod:`repro.obs.provenance`
+        records per stage.  The default covers any single-tier backend.
+        """
+        value = self.get(namespace, key)
+        return value, ("miss" if value is MISS else "memory")
+
     def put(self, namespace: str, key, value) -> None:
         raise NotImplementedError
 
@@ -379,9 +389,14 @@ class PlanStore(MemoryCache):
             raise
 
     def get(self, namespace: str, key) -> Any:
+        return self.get_with_source(namespace, key)[0]
+
+    def get_with_source(self, namespace: str, key):
         value = super().get(namespace, key)
-        if value is not MISS or namespace not in PERSISTENT_NAMESPACES:
-            return value
+        if value is not MISS:
+            return value, "memory"
+        if namespace not in PERSISTENT_NAMESPACES:
+            return MISS, "miss"
         path = self._path(namespace, key)
         try:
             with open(path, encoding="utf-8") as fp:
@@ -390,21 +405,21 @@ class PlanStore(MemoryCache):
         except FileNotFoundError:
             self.counters["disk_misses"] = \
                 self.counters.get("disk_misses", 0) + 1
-            return MISS
+            return MISS, "miss"
         except (OSError, ValueError, SerializationError):
             # Corrupt or version-incompatible payload: recompute, and
             # remember the path so the eventual put rewrites the file.
             self._stale.add(path)
             self.counters["disk_misses"] = \
                 self.counters.get("disk_misses", 0) + 1
-            return MISS
+            return MISS, "miss"
         self.counters["disk_hits"] = self.counters.get("disk_hits", 0) + 1
         try:
             os.utime(path)  # refresh LRU recency for the GC policy
         except OSError:
             pass
         super().put(namespace, key, value)
-        return value
+        return value, "disk"
 
     def put(self, namespace: str, key, value) -> None:
         super().put(namespace, key, value)
@@ -453,6 +468,29 @@ class PlanStore(MemoryCache):
             name[:-5] for name in os.listdir(directory)
             if name.endswith(".json")
         )
+
+    def path_for(self, namespace: str, key) -> str:
+        """On-disk path an entry lives (or would live) at -- provenance."""
+        return self._path(namespace, key)
+
+    # -- provenance sidecar --------------------------------------------------
+    # Provenance records live beside -- not inside -- the cache
+    # namespaces: they are per-plan diagnostics keyed by the frontier
+    # digest, not content-addressed artifacts, so ``gc`` never scans
+    # them and a pruned frontier keeps its history.
+
+    def put_provenance(self, digest: str, record: dict) -> str:
+        """Persist one provenance record; returns its path."""
+        from ..obs.provenance import provenance_path
+        path = provenance_path(self.root, digest)
+        self._atomic_write(path, json.dumps(record, sort_keys=True,
+                                            default=str))
+        return path
+
+    def get_provenance(self, digest: str) -> Optional[dict]:
+        """Read a persisted provenance record (``None`` if absent)."""
+        from ..obs.provenance import load_provenance
+        return load_provenance(self.root, digest)
 
     # -- eviction ------------------------------------------------------------
     def _disk_entries(self) -> list:

@@ -436,19 +436,26 @@ class DriftController:
         reason: str,
         signal: Optional[DriftSignal],
     ) -> Optional[ReplanProposal]:
+        from ..obs.trace import span as obs_span
+        from ..obs.trace import wrap_context
+
         timeout = self.policy.replan_timeout_s
         if timeout is None:
-            return self._replan(target_time_s, reason, signal)
+            with obs_span("drift.replan", reason=reason):
+                return self._replan(target_time_s, reason, signal)
         box: dict = {}
 
         def runner() -> None:
             try:
-                box["value"] = self._replan(target_time_s, reason, signal)
+                with obs_span("drift.replan", reason=reason):
+                    box["value"] = self._replan(
+                        target_time_s, reason, signal)
             except BaseException as exc:  # surfaced on the caller thread
                 box["error"] = exc
 
         thread = threading.Thread(
-            target=runner, name="repro-drift-replan", daemon=True)
+            target=wrap_context(runner), name="repro-drift-replan",
+            daemon=True)
         thread.start()
         thread.join(timeout)
         if thread.is_alive():

@@ -224,6 +224,12 @@ class FleetSimulator:
             method is attached at run start; observers may call
             :meth:`set_straggler` / :meth:`schedule_wake` to drive the
             *running* simulation (drift scenario injection).
+        record_timeline: When True, :meth:`run` appends one dict per
+            notable moment to :attr:`timeline` -- job lifespans
+            (``kind="job"`` with ``start_s``/``end_s``), arrivals,
+            stragglers, re-points, cap/trace breakpoints and drift
+            wakes (instants with ``t_s``).  The list feeds
+            :func:`repro.obs.export.fleet_timeline_to_chrome`.
     """
 
     def __init__(
@@ -236,6 +242,7 @@ class FleetSimulator:
         planner: Optional[Planner] = None,
         plan_jobs: Optional[int] = None,
         observers: Optional[Sequence] = None,
+        record_timeline: bool = False,
     ) -> None:
         self.trace = trace
         self.policy: FleetPolicy = (
@@ -257,6 +264,9 @@ class FleetSimulator:
         self.drift_stats: Dict[str, int] = {
             "notifications": 0, "replans": 0, "wakes": 0,
         }
+        self.record_timeline = record_timeline
+        #: Recorded run timeline (empty unless ``record_timeline``).
+        self.timeline: list = []
         # Loop state, promoted to attributes so observers can reach a
         # *running* simulation through the public methods below.
         self._queue: Optional[EventQueue] = None
@@ -304,9 +314,15 @@ class FleetSimulator:
             )
         self.trace.job(job_id)  # raises for unknown ids
         self.drift_stats["notifications"] += 1
+        self._mark("straggler", t_s=self._now, job=job_id, degree=degree)
         if self._apply_straggler(job_id, degree):
             self.drift_stats["replans"] += 1
             self._dirty = True
+
+    def _mark(self, kind: str, **fields) -> None:
+        """Append one timeline entry (no-op unless recording)."""
+        if self.record_timeline:
+            self.timeline.append({"kind": kind, **fields})
 
     def _apply_straggler(self, job_id: str, degree: float) -> bool:
         """Move one job's floor; True if a *running* job was touched."""
@@ -374,6 +390,7 @@ class FleetSimulator:
                if self.cap_trace is not None else None)
         ctx = AllocationContext(jobs=views, cap_w=cap, time_s=now)
         allocation = self.policy.allocate(ctx)
+        self._mark("replan", t_s=now, jobs=len(views))
         for view in views:
             state = running[view.job_id]
             pos = allocation.get(view.job_id, 0)
@@ -413,6 +430,7 @@ class FleetSimulator:
         self._pending_stragglers = {}
         self._now = 0.0
         self._dirty = False
+        self.timeline = []
         violation_s = 0.0
         fleet_energy = 0.0
         for observer in self.observers:
@@ -442,8 +460,11 @@ class FleetSimulator:
                     if floor is not None:
                         state.floor_time_s = floor
                     running[job.job_id] = state
+                    self._mark("arrival", t_s=now, job=job.job_id)
                     dirty = True
                 elif event.kind == STRAGGLER:
+                    self._mark("straggler", t_s=now, job=event.job_id,
+                               degree=event.degree)
                     if self._apply_straggler(event.job_id, event.degree):
                         dirty = True
                 elif event.kind == COMPLETION:
@@ -461,12 +482,16 @@ class FleetSimulator:
                     state.remaining_iterations = 0.0
                     state.end_s = now
                     records[event.job_id] = self._record(state)
+                    self._mark("job", job=event.job_id,
+                               start_s=state.start_s, end_s=now)
                     del running[event.job_id]
                     dirty = True
                 elif event.kind == TRACE:
+                    self._mark("cap", t_s=now)
                     dirty = True
                 elif event.kind == WAKE:
                     self.drift_stats["wakes"] += 1
+                    self._mark("wake", t_s=now)
             # Observers see the post-batch state at this instant; a
             # set_straggler they issue lands in the same reallocation
             # a trace-baked event at this timestamp would have joined.

@@ -1,0 +1,197 @@
+"""Bounded, lock-cheap structured event log (ring buffer + JSONL sink).
+
+The daemon (and anything else) emits one small dict per notable event
+-- a plan served, a flight coalesced, a drift re-plan, an admission
+rejection, an RPC completing -- stamped with a monotone sequence
+number, a wall-clock timestamp and the context's trace id
+(:func:`~repro.obs.trace.current_trace_id`), so events and spans join
+on the same id.
+
+Storage is a ``deque(maxlen=...)`` under one lock: emission is O(1),
+never blocks on I/O unless a JSONL sink is attached, and old events
+fall off the back instead of growing memory.  The daemon exposes the
+ring as the ``recent_events`` RPC (tenant-scoped: an event tagged with
+a ``tenant`` field is visible only to that tenant; untagged events are
+infrastructure-global) and tees to a file via ``repro serve
+--log-jsonl PATH``.
+
+:class:`RateLimiter` is the token bucket behind the daemon's access
+log: one structured line per RPC up to a sustained rate, with a
+``suppressed=N`` summary when a herd pushes past it -- observability
+without log storms.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import IO, Iterable, List, Optional
+
+from .trace import current_trace_id
+
+#: Default ring capacity: enough for a busy daemon's recent history,
+#: bounded regardless of uptime.
+DEFAULT_MAXLEN = 2048
+
+
+class EventLog:
+    """Append-only bounded event ring with an optional JSONL sink."""
+
+    def __init__(self, maxlen: int = DEFAULT_MAXLEN,
+                 jsonl_path: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._ring: "deque[dict]" = deque(maxlen=maxlen)
+        self._seq = 0
+        self._jsonl_path = jsonl_path
+        self._jsonl_fp: Optional[IO[str]] = None
+
+    @property
+    def jsonl_path(self) -> Optional[str]:
+        return self._jsonl_path
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the stamped record.
+
+        ``trace_id`` is read from the ambient trace context unless the
+        caller passes one explicitly; ``None`` fields are dropped so
+        records stay dense.
+        """
+        event = {"kind": kind, "ts": time.time()}
+        trace_id = fields.pop("trace_id", None) or current_trace_id()
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        for name, value in fields.items():
+            if value is not None:
+                event[name] = value
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._ring.append(event)
+            if self._jsonl_path is not None:
+                self._write_jsonl(event)
+        return event
+
+    def _write_jsonl(self, event: dict) -> None:
+        """Append one line to the sink (lock held; failures disable it).
+
+        A full disk or a deleted directory must degrade the sink, not
+        the daemon: on any OSError the sink is dropped and the ring
+        keeps working.
+        """
+        try:
+            if self._jsonl_fp is None:
+                self._jsonl_fp = open(self._jsonl_path, "a",
+                                      encoding="utf-8")
+            self._jsonl_fp.write(
+                json.dumps(event, sort_keys=True, default=str) + "\n")
+            self._jsonl_fp.flush()
+        except OSError:
+            self._jsonl_path = None
+            self._jsonl_fp = None
+
+    def recent(self, limit: int = 100, kind: Optional[str] = None,
+               tenant: Optional[str] = None) -> List[dict]:
+        """Newest-last slice of the ring.
+
+        ``kind`` filters by event kind.  ``tenant`` applies the
+        visibility rule: events tagged with a ``tenant`` field are
+        returned only when it matches; untagged events always are.
+        ``tenant=None`` (in-process diagnostics) sees everything.
+        """
+        with self._lock:
+            events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if tenant is not None:
+            events = [e for e in events
+                      if e.get("tenant") in (None, tenant)]
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._jsonl_fp is not None:
+                try:
+                    self._jsonl_fp.close()
+                except OSError:
+                    pass
+                self._jsonl_fp = None
+
+
+class RateLimiter:
+    """Token bucket with a suppressed-count summary.
+
+    ``allow()`` is True while tokens last (``rate`` per second,
+    ``burst`` capacity); denied calls are counted and
+    :meth:`take_suppressed` drains the count so the next emitted line
+    can report how many were dropped.  ``rate=None`` disables limiting
+    (always allow).
+    """
+
+    def __init__(self, rate: Optional[float], burst: Optional[float] = None,
+                 clock=time.monotonic) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self.rate = rate
+        self.burst = burst if burst is not None else (
+            max(2.0 * rate, 1.0) if rate is not None else 1.0)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+        self._suppressed = 0
+
+    def allow(self) -> bool:
+        if self.rate is None:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self._suppressed += 1
+            return False
+
+    def take_suppressed(self) -> int:
+        """Drain and return the count of calls denied since last drain."""
+        with self._lock:
+            count, self._suppressed = self._suppressed, 0
+            return count
+
+
+#: Process-wide convenience log (library-level emitters that have no
+#: daemon to hand them a log land here; the daemon owns its own).
+EVENTS = EventLog()
+
+
+def emit(kind: str, **fields) -> dict:
+    """Emit on the process-wide :data:`EVENTS` log."""
+    return EVENTS.emit(kind, **fields)
+
+
+def iter_jsonl(lines: Iterable[str]) -> Iterable[dict]:
+    """Parse a JSONL stream back to event dicts (bad lines skipped)."""
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            yield event

@@ -393,9 +393,12 @@ class PerseusServer:
             key = self._raw_frontier_key(job)
             frontier = planner.cache.get("frontier", key)
             if frontier is MISS:
-                frontier = characterize_frontier(
-                    job.dag, job.profile, tau=job.tau
-                )
+                from ..obs.trace import span as obs_span
+
+                with obs_span("server.characterize", job=job.job_id):
+                    frontier = characterize_frontier(
+                        job.dag, job.profile, tau=job.tau
+                    )
                 # The planner's recorder persists the frontier to the
                 # backend (and bumps stats["frontier"], so the "work"
                 # accounting covers raw-path crawls too).

@@ -43,6 +43,7 @@ from ..core.frontier import Frontier
 from ..core.schedule import EnergySchedule
 from ..core.serialization import frontier_from_dict, schedule_from_dict
 from ..exceptions import ServiceError, ServiceUnavailable
+from ..obs.trace import ensure_trace_id
 from .wire import error_from_wire, report_from_wire
 
 #: Default retry hint attached to transport-level failures (seconds);
@@ -91,6 +92,10 @@ class ServiceClient:
         self.port = int(port) if port else 80
         self.tenant = tenant
         self.timeout_s = timeout_s
+        #: Trace id sent with the most recent request (the same id the
+        #: daemon adopts, logs and echoes back) -- the join key between
+        #: a client-side failure and the daemon's events.
+        self.last_trace_id: Optional[str] = None
 
     # -- transport -----------------------------------------------------------
     def _unavailable(self, what: str, exc: BaseException) -> ServiceUnavailable:
@@ -113,6 +118,11 @@ class ServiceClient:
             # Non-latin-1 tenants travel in the envelope body instead
             # (HTTP headers cannot carry them); the daemon accepts both.
             headers["X-Repro-Tenant"] = self.tenant
+        # Propagate (or mint) the trace context: the daemon adopts this
+        # id, so client- and daemon-side records join on it.
+        trace_id = ensure_trace_id()
+        headers["X-Repro-Trace-Id"] = trace_id
+        self.last_trace_id = trace_id
         try:
             conn.request(method, path, body=payload, headers=headers)
             return conn.getresponse()
@@ -305,6 +315,14 @@ class ServiceClient:
     def stats(self) -> dict:
         """Daemon-side service/planner/cache statistics."""
         return self.call("stats")
+
+    def recent_events(self, limit: int = 100,
+                      kind: Optional[str] = None) -> List[dict]:
+        """Tail of the daemon's structured event ring (tenant-scoped)."""
+        params: dict = {"limit": limit}
+        if kind is not None:
+            params["kind"] = kind
+        return list(self.call("recent_events", params)["events"])
 
     # -- observability endpoints ---------------------------------------------
     def metrics_text(self) -> str:

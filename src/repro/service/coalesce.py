@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, Tuple
 from ..api.planner import Planner
 from ..api.spec import PlanSpec
 from ..core.store import stable_key
+from ..obs.trace import span as obs_span
 
 #: ``SingleFlight.do`` roles: the caller that executed the build, or a
 #: concurrent duplicate that waited for it.
@@ -86,7 +87,8 @@ class SingleFlight:
                 self.stats["followers"] += 1
         if lead:
             try:
-                flight.value = fn()
+                with obs_span("service.flight", role=LEADER):
+                    flight.value = fn()
             except BaseException as exc:
                 flight.error = exc
                 raise

@@ -61,7 +61,7 @@ from typing import Dict, Optional, Tuple
 
 from ..api.planner import Planner, default_planner
 from ..core.serialization import frontier_to_dict, schedule_to_dict
-from ..core.store import PlanStore
+from ..core.store import PlanStore, stable_key
 from ..exceptions import (
     ConfigurationError,
     QuotaExceeded,
@@ -69,6 +69,8 @@ from ..exceptions import (
     ServiceError,
     ServiceOverloaded,
 )
+from ..obs.events import EventLog, RateLimiter
+from ..obs.trace import new_trace_id, set_trace_id
 from ..runtime.server import PerseusServer
 from .admission import AdmissionController
 from .coalesce import LEADER, SingleFlight, stack_flight_key
@@ -143,11 +145,23 @@ class PlanningDaemon:
         quota_burst: float = 8.0,
         store_flight: object = "auto",
         lease_timeout_s: float = 5.0,
+        log_jsonl: Optional[str] = None,
+        access_log: bool = True,
+        access_log_rate: Optional[float] = 10.0,
     ) -> None:
         self.planner = planner if planner is not None else default_planner()
         self.server = server if server is not None \
             else PerseusServer(planner=self.planner)
         self.metrics = MetricsRegistry()
+        #: Structured event ring (plan / cache / flight / drift /
+        #: admission / rpc events), teed to ``log_jsonl`` when given;
+        #: exposed as the ``recent_events`` RPC.
+        self.events = EventLog(jsonl_path=log_jsonl)
+        #: One structured stderr line per RPC, token-bucket limited so a
+        #: herd cannot turn the access log into the bottleneck; denied
+        #: lines are counted and surface as ``suppressed=N`` later.
+        self._access_log = access_log
+        self._access_limiter = RateLimiter(access_log_rate)
         self.admission = AdmissionController(
             max_inflight=max_inflight,
             quota_rate=quota_rate,
@@ -260,6 +274,7 @@ class PlanningDaemon:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        self.events.close()
 
     def __enter__(self) -> "PlanningDaemon":
         return self.start()
@@ -297,12 +312,16 @@ class PlanningDaemon:
             if key in self._warm_keys:
                 self.metrics.inc("repro_service_coalesce_total",
                                  {"outcome": "warm"})
+                self.events.emit("flight", key=stable_key(key)[:12],
+                                 outcome="warm")
                 return
         store_role, role = self._flight.do(
             key, lambda: self._store_warm(spec, key))
         with self._warm_lock:
             self._warm_keys.add(key)
         self.metrics.inc("repro_service_coalesce_total", {"outcome": role})
+        self.events.emit("flight", key=stable_key(key)[:12], outcome=role,
+                         store_role=store_role)
         if role == LEADER and store_role is not None:
             self.metrics.inc("repro_service_store_flights_total",
                              {"outcome": store_role})
@@ -344,6 +363,13 @@ class PlanningDaemon:
         stats = getattr(frontier, "stats", None) or {}
         timings = stats.get("timings") or {}
         exactness = stats.get("exactness", "exact")
+        self.events.emit(
+            "crawl",
+            exactness=exactness,
+            kernel=timings.get("kernel"),
+            seconds=round(getattr(frontier, "optimizer_runtime_s", 0.0), 6),
+            points=len(getattr(frontier, "points", ()) or ()),
+        )
         for stage in ("event_times", "instance_build", "maxflow",
                       "schedule"):
             seconds = timings.get(stage + "_s")
@@ -472,6 +498,10 @@ class PlanningDaemon:
         if action.get("replanned"):
             self.metrics.inc("repro_drift_replans_total",
                              {"reason": str(action.get("reason"))})
+            self.events.emit("drift", tenant=tenant,
+                             job=self._bare(tenant, job_id),
+                             reason=str(action.get("reason")),
+                             state=str(action.get("state")))
         return {"action": action}
 
     def _rpc_notify_restart(self, tenant: str, params: dict) -> dict:
@@ -518,6 +548,23 @@ class PlanningDaemon:
             "service": self.metrics.snapshot(),
         }
 
+    def _rpc_recent_events(self, tenant: str, params: dict) -> dict:
+        """Tail of the daemon's structured event ring (tenant-scoped).
+
+        Events tagged with another tenant are invisible; untagged
+        (infrastructure) events -- flights, crawls, admission -- are
+        visible to everyone sharing the daemon.
+        """
+        limit = int(params.get("limit", 100))
+        if limit <= 0:
+            raise ConfigurationError(
+                f"recent_events limit must be positive, got {limit}")
+        kind = params.get("kind")
+        events = self.events.recent(limit=min(limit, 1000),
+                                    kind=str(kind) if kind else None,
+                                    tenant=tenant)
+        return {"events": events, "count": len(events)}
+
     def _require(self, params: dict, name: str):
         if name not in params:
             raise ConfigurationError(f"missing required param {name!r}")
@@ -541,6 +588,7 @@ class PlanningDaemon:
             "notify_restart": self._rpc_notify_restart,
             "jobs": self._rpc_jobs,
             "stats": self._rpc_stats,
+            "recent_events": self._rpc_recent_events,
         }
 
     def _replay_get(self, tenant: str, request_id) -> Optional[dict]:
@@ -563,12 +611,19 @@ class PlanningDaemon:
             while len(self._replays) > REPLAY_CACHE_SIZE:
                 self._replays.popitem(last=False)
 
-    def handle_rpc(self, envelope: dict, header_tenant: Optional[str]
+    def handle_rpc(self, envelope: dict, header_tenant: Optional[str],
+                   trace_id: Optional[str] = None
                    ) -> Tuple[int, dict, Dict[str, str]]:
         """One RPC: returns (HTTP status, response body, extra headers).
 
         Factored off the socket handler so tests (and in-process
         callers) can exercise the full dispatch path without HTTP.
+
+        The daemon adopts the caller's trace id (``X-Repro-Trace-Id``
+        header or envelope field, whichever arrives) -- or mints one --
+        binds it to this handler thread's context so every span and
+        event below joins it, and echoes it back in the response
+        headers.
         """
         if not isinstance(envelope, dict):
             return 400, {"error": error_to_wire(
@@ -576,9 +631,13 @@ class PlanningDaemon:
         request_id = envelope.get("id")
         method_name = envelope.get("method")
         params = envelope.get("params") or {}
+        adopted = trace_id or envelope.get("trace_id") or new_trace_id()
+        set_trace_id(adopted)
         started = time.perf_counter()
-        status, body, headers = 200, {}, {}
+        status, body, headers = 200, {}, {"X-Repro-Trace-Id": str(adopted)}
         label = {"method": str(method_name)}
+        tenant: Optional[str] = None
+        replayed_flag = False
         try:
             tenant = _validate_tenant(
                 header_tenant or envelope.get("tenant") or DEFAULT_TENANT)
@@ -595,6 +654,7 @@ class PlanningDaemon:
                 self.metrics.inc("repro_service_replays_total", label)
                 body = {"id": request_id, "result": replayed}
                 headers["X-Repro-Replayed"] = "1"
+                replayed_flag = True
             else:
                 if method_name in EXPENSIVE_METHODS:
                     with self.admission.admit(tenant):
@@ -608,6 +668,8 @@ class PlanningDaemon:
                       else "overload")
             self.metrics.inc("repro_service_rejections_total",
                              {"reason": reason})
+            self.events.emit("admission", tenant=tenant, reason=reason,
+                             method=str(method_name))
             status, body = 429, {"id": request_id,
                                  "error": error_to_wire(exc)}
             retry = getattr(exc, "retry_after_s", 0.0)
@@ -629,9 +691,38 @@ class PlanningDaemon:
                               "kind": type(exc).__name__})
             status, body = 500, {"id": request_id,
                                  "error": error_to_wire(exc)}
+        duration_s = time.perf_counter() - started
         self.metrics.observe("repro_service_request_latency_seconds",
-                             time.perf_counter() - started, label)
+                             duration_s, label)
+        self.events.emit("rpc", method=str(method_name), tenant=tenant,
+                         status=status, duration_s=round(duration_s, 6),
+                         replayed=replayed_flag)
+        self._access_line(str(method_name), tenant, status, duration_s,
+                          str(adopted), replayed_flag)
         return status, body, headers
+
+    def _access_line(self, method: str, tenant: Optional[str], status: int,
+                     duration_s: float, trace_id: str,
+                     replayed: bool) -> None:
+        """One structured access-log line per RPC, rate-limited.
+
+        Replaces the handler's silent path: operators get method,
+        tenant, status, latency, replay flag and the trace id that
+        joins the line to spans and events -- without a per-request
+        log storm under a coalescing herd (denied lines roll up into
+        the next line's ``suppressed=N``).
+        """
+        if not self._access_log:
+            return
+        if not self._access_limiter.allow():
+            return
+        suppressed = self._access_limiter.take_suppressed()
+        line = (f"[repro.serve] rpc method={method} tenant={tenant} "
+                f"status={status} dur_ms={duration_s * 1000.0:.1f} "
+                f"replayed={int(replayed)} trace={trace_id}")
+        if suppressed:
+            line += f" suppressed={suppressed}"
+        print(line, file=sys.stderr, flush=True)
 
     # -- scrape-time views ---------------------------------------------------
     def metrics_text(self) -> str:
@@ -731,7 +822,8 @@ def _make_handler(daemon: PlanningDaemon):
                     f"request body is not valid JSON: {exc}"))})
                 return
             status, body, headers = daemon.handle_rpc(
-                envelope, self.headers.get("X-Repro-Tenant"))
+                envelope, self.headers.get("X-Repro-Tenant"),
+                trace_id=self.headers.get("X-Repro-Trace-Id"))
             self._send_json(status, body, headers)
 
     return Handler

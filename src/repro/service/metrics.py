@@ -38,11 +38,26 @@ def _label_key(labels: Optional[Mapping[str, str]]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition-format label-value escaping.
+
+    The format reserves exactly three characters inside quoted label
+    values: backslash, double quote and newline (the last becomes the
+    two-character sequence ``\\n``).  Without this, a tenant named
+    ``evil"}`` splits the series line and the whole scrape fails to
+    parse.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(key: LabelKey, extra: Iterable[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in pairs)
     return "{" + body + "}"
 
 

@@ -510,9 +510,11 @@ class ReplicaClient(ServiceClient):
                         method, params, request_id=rid)
                 except ServiceUnavailable as exc:
                     last_error = exc
+                    self.last_trace_id = self.replicas[index].last_trace_id
                     self._eject(index)
                     self.stats["failovers"] += 1
                     continue
+                self.last_trace_id = self.replicas[index].last_trace_id
                 self._mark_healthy(index)
                 return result
             if not tried_one:
